@@ -1,0 +1,321 @@
+//! The shared greedy/beam search kernel (§II-A).
+//!
+//! Every graph-traversal ANNS algorithm's search phase follows the same
+//! loop: keep a *candidate list* of discovered-but-unexpanded vertices and
+//! a *result list* of the best `ef` vertices seen; repeatedly expand the
+//! closest candidate, compute distances to its never-visited neighbors, and
+//! stop when the closest candidate is farther than the worst retained
+//! result. This module implements that loop once, records the per-iteration
+//! memory trace, and is reused by HNSW (per layer), Vamana, HCNNG and TOGG.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::{DistanceKind, VectorId};
+
+use crate::trace::{IterationTrace, QueryTrace};
+
+/// Reusable visited-set with O(1) epoch-based reset, so batch search does
+/// not reallocate per query.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    epoch: u32,
+    marks: Vec<u32>,
+}
+
+impl VisitedSet {
+    /// Creates a set covering `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            epoch: 1,
+            marks: vec![0; n],
+        }
+    }
+
+    /// Clears the set in O(1).
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks a vertex; returns `true` if it was not already marked.
+    pub fn insert(&mut self, v: VectorId) -> bool {
+        let slot = &mut self.marks[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether a vertex is marked.
+    pub fn contains(&self, v: VectorId) -> bool {
+        self.marks[v as usize] == self.epoch
+    }
+}
+
+/// Result of one beam search: the `ef` best neighbors found (ascending
+/// distance) and the per-iteration trace.
+#[derive(Debug, Clone)]
+pub struct BeamResult {
+    /// Best vertices found, ascending by distance.
+    pub found: Vec<Neighbor>,
+    /// Memory trace of the search.
+    pub trace: QueryTrace,
+}
+
+/// Greedy beam search over `graph` from `entries`, retaining the best
+/// `beam_width` results.
+///
+/// # Panics
+/// Panics if `beam_width == 0` or an entry id is out of range.
+pub fn beam_search(
+    dataset: &Dataset,
+    graph: &Csr,
+    query: &[f32],
+    entries: &[VectorId],
+    beam_width: usize,
+    distance: DistanceKind,
+    visited: &mut VisitedSet,
+) -> BeamResult {
+    assert!(beam_width > 0, "beam width must be positive");
+    visited.clear();
+    let mut trace = QueryTrace::default();
+
+    // Candidate list: min-heap by distance. Result list: max-heap bounded
+    // by beam_width (ef).
+    let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+    let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
+
+    // The initial entry vertices count as visited/computed: record them as
+    // iteration 0 with a synthetic entry (the first entry vertex).
+    let mut init_visited = Vec::with_capacity(entries.len());
+    for &e in entries {
+        if visited.insert(e) {
+            let d = distance.eval(query, dataset.vector(e));
+            candidates.push(Reverse(Neighbor::new(d, e)));
+            results.push(Neighbor::new(d, e));
+            init_visited.push(e);
+        }
+    }
+    while results.len() > beam_width {
+        results.pop();
+    }
+    if init_visited.is_empty() {
+        return BeamResult {
+            found: Vec::new(),
+            trace,
+        };
+    }
+    trace.iterations.push(IterationTrace {
+        entry: init_visited[0],
+        visited: init_visited,
+    });
+
+    while let Some(Reverse(current)) = candidates.pop() {
+        // Termination: closest candidate is farther than the worst result
+        // while the result list is full (§II-A's pre-defined condition).
+        let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
+        if results.len() >= beam_width && current.distance > worst {
+            break;
+        }
+        let mut iter_visited = Vec::new();
+        for &nb in graph.neighbors(current.id) {
+            if !visited.insert(nb) {
+                continue;
+            }
+            let d = distance.eval(query, dataset.vector(nb));
+            iter_visited.push(nb);
+            let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
+            if results.len() < beam_width || d < worst {
+                candidates.push(Reverse(Neighbor::new(d, nb)));
+                results.push(Neighbor::new(d, nb));
+                if results.len() > beam_width {
+                    results.pop();
+                }
+            }
+        }
+        if !iter_visited.is_empty() {
+            trace.iterations.push(IterationTrace {
+                entry: current.id,
+                visited: iter_visited,
+            });
+        }
+    }
+
+    let mut found = results.into_vec();
+    found.sort_unstable();
+    BeamResult { found, trace }
+}
+
+/// Pure greedy descent (beam width 1) used by HNSW's upper layers: walks to
+/// the locally nearest vertex and returns it.
+pub fn greedy_descent(
+    dataset: &Dataset,
+    graph: &Csr,
+    query: &[f32],
+    entry: VectorId,
+    distance: DistanceKind,
+    trace: &mut QueryTrace,
+) -> Neighbor {
+    let mut current = Neighbor::new(distance.eval(query, dataset.vector(entry)), entry);
+    loop {
+        let mut best = current;
+        let mut iter_visited = Vec::new();
+        for &nb in graph.neighbors(current.id) {
+            let d = distance.eval(query, dataset.vector(nb));
+            iter_visited.push(nb);
+            let cand = Neighbor::new(d, nb);
+            if cand < best {
+                best = cand;
+            }
+        }
+        if !iter_visited.is_empty() {
+            trace.iterations.push(IterationTrace {
+                entry: current.id,
+                visited: iter_visited,
+            });
+        }
+        if best.id == current.id {
+            return current;
+        }
+        current = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_vector::recall::exact_knn;
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    fn grid_graph(ds: &Dataset, k: usize) -> Csr {
+        // Exact KNN graph: brute force for each vertex.
+        let lists: Vec<Vec<VectorId>> = (0..ds.len() as u32)
+            .map(|v| {
+                exact_knn(ds, ds.vector(v), k + 1, DistanceKind::L2)
+                    .into_iter()
+                    .filter(|n| n.id != v)
+                    .take(k)
+                    .map(|n| n.id)
+                    .collect()
+            })
+            .collect();
+        Csr::from_adjacency(&lists).unwrap()
+    }
+
+    #[test]
+    fn visited_set_resets_in_o1() {
+        let mut vs = VisitedSet::new(10);
+        assert!(vs.insert(3));
+        assert!(!vs.insert(3));
+        assert!(vs.contains(3));
+        vs.clear();
+        assert!(!vs.contains(3));
+        assert!(vs.insert(3));
+    }
+
+    /// A single-cluster spec so the exact-KNN graph stays connected (the
+    /// multi-cluster presets produce per-cluster components, which is what
+    /// real ANNS graphs add long-range edges to fix).
+    fn unimodal(n: usize, q: usize) -> DatasetSpec {
+        DatasetSpec {
+            clusters: 1,
+            ..DatasetSpec::deep_scaled(n, q)
+        }
+    }
+
+    #[test]
+    fn beam_search_finds_true_nn_on_knn_graph() {
+        let ds = unimodal(400, 1).build();
+        let graph = grid_graph(&ds, 8);
+        let mut vs = VisitedSet::new(ds.len());
+        let q = ds.vector(123).to_vec();
+        let out = beam_search(&ds, &graph, &q, &[0], 32, DistanceKind::L2, &mut vs);
+        // The query *is* vertex 123, so the top hit must be 123 at d=0.
+        assert_eq!(out.found[0].id, 123);
+        assert_eq!(out.found[0].distance, 0.0);
+        assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn wider_beam_never_hurts_recall() {
+        let spec = unimodal(500, 8);
+        let (base, queries) = spec.build_pair();
+        let graph = grid_graph(&base, 8);
+        let gt = ndsearch_vector::recall::ground_truth(&base, &queries, 10, DistanceKind::L2);
+        let mut recalls = Vec::new();
+        for ef in [4usize, 16, 64] {
+            let mut vs = VisitedSet::new(base.len());
+            let found: Vec<Vec<VectorId>> = queries
+                .iter()
+                .map(|(_, q)| {
+                    beam_search(&base, &graph, q, &[0], ef, DistanceKind::L2, &mut vs)
+                        .found
+                        .iter()
+                        .map(|n| n.id)
+                        .collect()
+                })
+                .collect();
+            recalls.push(ndsearch_vector::recall::recall_at_k(&gt, &found, 10));
+        }
+        assert!(recalls[2] >= recalls[0], "recalls = {recalls:?}");
+        assert!(recalls[2] > 0.5, "ef=64 recall should be decent: {recalls:?}");
+    }
+
+    #[test]
+    fn trace_visits_each_vertex_once() {
+        let ds = DatasetSpec::sift_scaled(300, 1).build();
+        let graph = grid_graph(&ds, 6);
+        let mut vs = VisitedSet::new(ds.len());
+        let q = ds.vector(7).to_vec();
+        let out = beam_search(&ds, &graph, &q, &[0, 5], 16, DistanceKind::L2, &mut vs);
+        let seq: Vec<_> = out.trace.queries_flat();
+        let set: std::collections::HashSet<_> = seq.iter().copied().collect();
+        assert_eq!(seq.len(), set.len(), "no vertex visited twice");
+    }
+
+    #[test]
+    fn greedy_descent_reaches_local_minimum() {
+        let ds = DatasetSpec::deep_scaled(200, 1).build();
+        let graph = grid_graph(&ds, 8);
+        let q = ds.vector(50).to_vec();
+        let mut trace = QueryTrace::default();
+        let end = greedy_descent(&ds, &graph, &q, 0, DistanceKind::L2, &mut trace);
+        // The endpoint must be no worse than any of its graph neighbors.
+        for &nb in graph.neighbors(end.id) {
+            let d = DistanceKind::L2.eval(&q, ds.vector(nb));
+            assert!(d >= end.distance);
+        }
+    }
+
+    #[test]
+    fn empty_entries_return_empty() {
+        let ds = DatasetSpec::sift_scaled(50, 1).build();
+        let graph = grid_graph(&ds, 4);
+        let mut vs = VisitedSet::new(ds.len());
+        let out = beam_search(
+            &ds,
+            &graph,
+            ds.vector(0),
+            &[],
+            8,
+            DistanceKind::L2,
+            &mut vs,
+        );
+        assert!(out.found.is_empty());
+    }
+
+    impl QueryTrace {
+        fn queries_flat(&self) -> Vec<VectorId> {
+            self.visited_sequence().collect()
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Bitonic sorting network — the kernel NDSEARCH offloads to the FPGA.
+//!
+//! §IV-A: SearSSD streams each query's result list (query id, candidate
+//! ids, scalar distances) to an FPGA which runs a highly parallel bitonic
+//! sorter ([66]) and returns the top-k. A bitonic network for `n = 2^p`
+//! elements has `p(p+1)/2` stages of `n/2` parallel comparators; its
+//! latency on hardware is `stages × clock`, independent of data. This
+//! module executes the real network (so results are exact) and counts
+//! stages/comparators so the FPGA timing model can charge the right
+//! latency.
+
+/// Statistics of one network execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitonicStats {
+    /// Padded network width (next power of two).
+    pub width: usize,
+    /// Comparator stages (each stage is fully parallel in hardware).
+    pub stages: u32,
+    /// Total compare-exchange operations executed.
+    pub comparators: u64,
+}
+
+impl BitonicStats {
+    /// Stages a width-`n` network needs: p(p+1)/2 for n = 2^p.
+    pub fn stages_for(n: usize) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        let p = usize::BITS - (n - 1).leading_zeros();
+        p * (p + 1) / 2
+    }
+}
+
+/// Sorts `data` ascending with a bitonic network, returning execution
+/// statistics. Works for any length: hardware sorters pad the input lanes
+/// to the next power of two with copies of a maximal sentinel, so we do the
+/// same (clones of the current maximum), run the full-width network, and
+/// keep the first `n` outputs.
+pub fn bitonic_sort<T: Ord + Clone>(data: &mut [T]) -> BitonicStats {
+    let n = data.len();
+    if n <= 1 {
+        return BitonicStats {
+            width: n,
+            stages: 0,
+            comparators: 0,
+        };
+    }
+    let width = n.next_power_of_two();
+    let mut stats = BitonicStats {
+        width,
+        stages: 0,
+        comparators: 0,
+    };
+    // Pad with the maximum element so padding lanes sink to the tail.
+    let max = data.iter().max().expect("n > 1").clone();
+    let mut lanes: Vec<T> = Vec::with_capacity(width);
+    lanes.extend_from_slice(data);
+    lanes.resize(width, max);
+
+    // Standard iterative bitonic network over `width` lanes.
+    let mut k = 2;
+    while k <= width {
+        let mut j = k / 2;
+        while j > 0 {
+            stats.stages += 1;
+            for i in 0..width {
+                let l = i ^ j;
+                if l > i {
+                    stats.comparators += 1;
+                    let ascending = (i & k) == 0;
+                    let out_of_order = if ascending {
+                        lanes[i] > lanes[l]
+                    } else {
+                        lanes[i] < lanes[l]
+                    };
+                    if out_of_order {
+                        lanes.swap(i, l);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    data.clone_from_slice(&lanes[..n]);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_vector::rng::Pcg32;
+
+    #[test]
+    fn sorts_power_of_two() {
+        let mut v = vec![5, 3, 8, 1, 9, 2, 7, 4];
+        let stats = bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+        assert_eq!(stats.width, 8);
+        assert_eq!(stats.stages, BitonicStats::stages_for(8));
+        assert_eq!(stats.stages, 6); // p=3 → 3·4/2
+    }
+
+    #[test]
+    fn sorts_arbitrary_lengths() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        for len in [0usize, 1, 2, 3, 5, 17, 100, 255, 1000] {
+            let mut v: Vec<u32> = (0..len).map(|_| rng.next_u32() % 1000).collect();
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            bitonic_sort(&mut v);
+            assert_eq!(v, expected, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn stage_count_matches_formula() {
+        assert_eq!(BitonicStats::stages_for(1), 0);
+        assert_eq!(BitonicStats::stages_for(2), 1);
+        assert_eq!(BitonicStats::stages_for(4), 3);
+        assert_eq!(BitonicStats::stages_for(1024), 55); // p=10
+        assert_eq!(BitonicStats::stages_for(2048), 66); // p=11
+    }
+
+    #[test]
+    fn comparator_count_is_stage_times_half_width() {
+        let mut v: Vec<u32> = (0..64).rev().collect();
+        let stats = bitonic_sort(&mut v);
+        assert_eq!(
+            stats.comparators,
+            u64::from(stats.stages) * (stats.width as u64 / 2)
+        );
+    }
+
+    #[test]
+    fn already_sorted_stays_sorted() {
+        let mut v: Vec<u32> = (0..128).collect();
+        bitonic_sort(&mut v);
+        assert_eq!(v, (0..128).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,84 @@
+//! Exact brute-force search as a [`GraphAnnsIndex`] (baseline / ground
+//! truth provider). Its "graph" is empty — it scans the whole dataset —
+//! and its trace visits every vertex, which is exactly why NNS is
+//! intractable at scale (§II-A).
+
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::recall::exact_knn;
+
+use crate::index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};
+use crate::trace::{BatchTrace, IterationTrace, QueryTrace};
+
+/// Exact scan index.
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    graph: Csr,
+}
+
+impl BruteForce {
+    /// Creates the index for a dataset of `n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: Csr::from_adjacency(&vec![Vec::new(); n]).expect("empty lists are valid"),
+        }
+    }
+}
+
+impl GraphAnnsIndex for BruteForce {
+    fn algorithm(&self) -> AnnsAlgorithm {
+        AnnsAlgorithm::BruteForce
+    }
+
+    fn base_graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn search_batch(
+        &self,
+        base: &Dataset,
+        queries: &Dataset,
+        params: &SearchParams,
+    ) -> SearchOutput {
+        let mut results = Vec::with_capacity(queries.len());
+        let mut traces = Vec::with_capacity(queries.len());
+        let all: Vec<u32> = (0..base.len() as u32).collect();
+        for (_, q) in queries.iter() {
+            results.push(exact_knn(base, q, params.k, params.distance));
+            traces.push(QueryTrace {
+                iterations: vec![IterationTrace {
+                    entry: 0,
+                    visited: all.clone(),
+                }],
+            });
+        }
+        SearchOutput {
+            results,
+            trace: BatchTrace { queries: traces },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_vector::synthetic::DatasetSpec;
+    use ndsearch_vector::DistanceKind;
+
+    #[test]
+    fn brute_force_is_exact() {
+        let spec = DatasetSpec::sift_scaled(200, 5);
+        let (base, queries) = spec.build_pair();
+        let index = BruteForce::new(base.len());
+        let out = index.search_batch(
+            &base,
+            &queries,
+            &SearchParams::new(10, 10, DistanceKind::L2),
+        );
+        let gt = ndsearch_vector::recall::ground_truth(&base, &queries, 10, DistanceKind::L2);
+        let r = ndsearch_vector::recall::recall_at_k(&gt, &out.id_lists(), 10);
+        assert_eq!(r, 1.0);
+        // Trace covers the whole dataset per query.
+        assert_eq!(out.trace.queries[0].len(), 200);
+    }
+}

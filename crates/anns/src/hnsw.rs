@@ -1,0 +1,514 @@
+//! Hierarchical navigable small world graphs (Malkov & Yashunin), from
+//! scratch.
+//!
+//! HNSW maintains a stack of proximity graphs: layer 0 contains every
+//! vertex; each higher layer contains an exponentially thinning sample. A
+//! query greedily descends from the top layer to layer 1 (beam width 1),
+//! then runs a full beam search on layer 0. Construction inserts vertices
+//! one at a time, sampling each vertex's top layer from a geometric
+//! distribution and linking it to neighbors chosen by the *select-neighbors
+//! heuristic* (prefer candidates closer to the new vertex than to already
+//! selected neighbors), which keeps the graph navigable.
+
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::rng::Pcg32;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::{DistanceKind, VectorId};
+
+use crate::beam::{beam_search, VisitedSet};
+use crate::index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};
+use crate::trace::{BatchTrace, QueryTrace};
+
+/// HNSW construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswParams {
+    /// Max links per vertex on layers ≥ 1 (M). Layer 0 allows `2 * m`.
+    pub m: usize,
+    /// Beam width used during construction (efConstruction).
+    pub ef_construction: usize,
+    /// Distance function.
+    pub distance: DistanceKind,
+    /// RNG seed for level sampling.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            distance: DistanceKind::L2,
+            seed: 0x45_57,
+        }
+    }
+}
+
+/// Mutable adjacency used during construction (converted to CSR at the
+/// end).
+#[derive(Debug, Clone, Default)]
+struct LayerAdj {
+    /// Per-vertex neighbor lists; vertices absent from the layer have an
+    /// empty list and are listed in `members`.
+    lists: std::collections::HashMap<VectorId, Vec<VectorId>>,
+}
+
+/// A built HNSW index.
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    params: HnswParams,
+    /// Layer 0 adjacency over all vertices.
+    base: Csr,
+    /// Upper layers (1..) as sparse adjacency.
+    upper: Vec<LayerAdj>,
+    /// Entry point (a vertex on the top layer).
+    entry: VectorId,
+}
+
+impl Hnsw {
+    /// Builds the index over `base` vectors.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn build(base: &Dataset, params: HnswParams) -> Self {
+        assert!(!base.is_empty(), "dataset must not be empty");
+        let n = base.len();
+        let mut rng = Pcg32::seed_from_u64(params.seed);
+        let level_mult = 1.0 / (params.m as f64).ln().max(0.5);
+
+        // Sampled top level of each vertex.
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.next_f64().max(1e-12);
+                ((-u.ln() * level_mult) as usize).min(12)
+            })
+            .collect();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+
+        let mut layer0: Vec<Vec<VectorId>> = vec![Vec::new(); n];
+        let mut upper: Vec<LayerAdj> = (0..max_level).map(|_| LayerAdj::default()).collect();
+        let mut entry: VectorId = 0;
+        let mut entry_level = levels[0];
+        for l in 0..levels[0].min(max_level) {
+            upper[l].lists.insert(0, Vec::new());
+        }
+
+        let dist = params.distance;
+
+        for v in 1..n as u32 {
+            let v_level = levels[v as usize];
+            let q = base.vector(v).to_vec();
+            let mut cur = entry;
+
+            // Greedy descent through layers above v_level.
+            let mut l = entry_level;
+            while l > v_level {
+                if l >= 1 {
+                    cur = greedy_upper(base, &upper[l - 1], &q, cur, dist);
+                }
+                l -= 1;
+            }
+
+            // Insert into layers min(v_level, entry_level) .. 0.
+            let top_insert = v_level.min(entry_level);
+            let mut layer = top_insert;
+            loop {
+                let max_links = if layer == 0 { params.m * 2 } else { params.m };
+                let candidates = if layer == 0 {
+                    search_adj(
+                        base,
+                        |u| layer0[u as usize].as_slice(),
+                        &q,
+                        cur,
+                        params.ef_construction,
+                        dist,
+                    )
+                } else {
+                    let adj = &upper[layer - 1];
+                    search_adj(
+                        base,
+                        |u| adj.lists.get(&u).map(Vec::as_slice).unwrap_or(&[]),
+                        &q,
+                        cur,
+                        params.ef_construction,
+                        dist,
+                    )
+                };
+                let selected = select_neighbors(base, &q, &candidates, params.m, dist);
+                if let Some(best) = selected.first() {
+                    cur = best.id;
+                }
+                for &nb in selected.iter().map(|s| &s.id) {
+                    if layer == 0 {
+                        layer0[v as usize].push(nb);
+                        layer0[nb as usize].push(v);
+                        prune_list(base, nb, &mut layer0[nb as usize], params.m * 2, dist);
+                    } else {
+                        let adj = &mut upper[layer - 1];
+                        adj.lists.entry(v).or_default().push(nb);
+                        adj.lists.entry(nb).or_default().push(v);
+                        let list = adj.lists.get_mut(&nb).expect("just inserted");
+                        prune_hash_list(base, nb, list, max_links, dist);
+                    }
+                }
+                if layer == 0 {
+                    prune_list(base, v, &mut layer0[v as usize], params.m * 2, dist);
+                } else if let Some(list) = upper[layer - 1].lists.get_mut(&v) {
+                    prune_hash_list(base, v, list, max_links, dist);
+                }
+                if layer == 0 {
+                    break;
+                }
+                layer -= 1;
+            }
+
+            if v_level > entry_level {
+                entry = v;
+                entry_level = v_level;
+                for l in 0..v_level {
+                    upper[l].lists.entry(v).or_default();
+                }
+            }
+        }
+
+        // Deduplicate layer-0 lists.
+        for list in &mut layer0 {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let base_csr = Csr::from_adjacency(&layer0).expect("layer0 ids validated");
+        Self {
+            params,
+            base: base_csr,
+            upper,
+            entry,
+        }
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// The hierarchy's entry point.
+    pub fn entry_point(&self) -> VectorId {
+        self.entry
+    }
+
+    /// Number of upper layers.
+    pub fn num_upper_layers(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Searches a single query, recording the trace.
+    pub fn search_one(
+        &self,
+        base: &Dataset,
+        query: &[f32],
+        params: &SearchParams,
+        visited: &mut VisitedSet,
+    ) -> (Vec<Neighbor>, QueryTrace) {
+        let mut trace = QueryTrace::default();
+        let mut cur = self.entry;
+        // Descend upper layers greedily (recording their accesses too: the
+        // upper layers also live on flash).
+        for layer in (0..self.upper.len()).rev() {
+            cur = greedy_upper_traced(
+                base,
+                &self.upper[layer],
+                query,
+                cur,
+                self.params.distance,
+                &mut trace,
+            );
+        }
+        let mut out = beam_search(
+            base,
+            &self.base,
+            query,
+            &[cur],
+            params.beam_width,
+            params.distance,
+            visited,
+        );
+        trace.iterations.append(&mut out.trace.iterations);
+        out.found.truncate(params.k);
+        (out.found, trace)
+    }
+}
+
+impl GraphAnnsIndex for Hnsw {
+    fn algorithm(&self) -> AnnsAlgorithm {
+        AnnsAlgorithm::Hnsw
+    }
+
+    fn base_graph(&self) -> &Csr {
+        &self.base
+    }
+
+    fn search_batch(
+        &self,
+        base: &Dataset,
+        queries: &Dataset,
+        params: &SearchParams,
+    ) -> SearchOutput {
+        let mut visited = VisitedSet::new(base.len());
+        let mut results = Vec::with_capacity(queries.len());
+        let mut traces = Vec::with_capacity(queries.len());
+        for (_, q) in queries.iter() {
+            let (found, trace) = self.search_one(base, q, params, &mut visited);
+            results.push(found);
+            traces.push(trace);
+        }
+        SearchOutput {
+            results,
+            trace: BatchTrace { queries: traces },
+        }
+    }
+}
+
+/// Greedy walk on a sparse upper layer (no trace).
+fn greedy_upper(
+    base: &Dataset,
+    adj: &LayerAdj,
+    query: &[f32],
+    entry: VectorId,
+    dist: DistanceKind,
+) -> VectorId {
+    let mut trace = QueryTrace::default();
+    greedy_upper_inner(base, adj, query, entry, dist, &mut trace)
+}
+
+fn greedy_upper_traced(
+    base: &Dataset,
+    adj: &LayerAdj,
+    query: &[f32],
+    entry: VectorId,
+    dist: DistanceKind,
+    trace: &mut QueryTrace,
+) -> VectorId {
+    greedy_upper_inner(base, adj, query, entry, dist, trace)
+}
+
+fn greedy_upper_inner(
+    base: &Dataset,
+    adj: &LayerAdj,
+    query: &[f32],
+    entry: VectorId,
+    dist: DistanceKind,
+    trace: &mut QueryTrace,
+) -> VectorId {
+    let mut cur = Neighbor::new(dist.eval(query, base.vector(entry)), entry);
+    loop {
+        let Some(neighbors) = adj.lists.get(&cur.id) else {
+            return cur.id;
+        };
+        let mut best = cur;
+        let mut visited = Vec::new();
+        for &nb in neighbors {
+            let d = dist.eval(query, base.vector(nb));
+            visited.push(nb);
+            let c = Neighbor::new(d, nb);
+            if c < best {
+                best = c;
+            }
+        }
+        if !visited.is_empty() {
+            trace.iterations.push(crate::trace::IterationTrace {
+                entry: cur.id,
+                visited,
+            });
+        }
+        if best.id == cur.id {
+            return cur.id;
+        }
+        cur = best;
+    }
+}
+
+/// Beam search over any adjacency view (construction only; no trace).
+fn search_adj<'a, F>(
+    base: &Dataset,
+    neighbors_of: F,
+    query: &[f32],
+    entry: VectorId,
+    ef: usize,
+    dist: DistanceKind,
+) -> Vec<Neighbor>
+where
+    F: Fn(VectorId) -> &'a [VectorId],
+{
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
+    let mut visited: HashSet<VectorId> = HashSet::new();
+    let mut candidates = BinaryHeap::new();
+    let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
+    let d0 = dist.eval(query, base.vector(entry));
+    visited.insert(entry);
+    candidates.push(Reverse(Neighbor::new(d0, entry)));
+    results.push(Neighbor::new(d0, entry));
+    while let Some(Reverse(cur)) = candidates.pop() {
+        let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
+        if results.len() >= ef && cur.distance > worst {
+            break;
+        }
+        for &nb in neighbors_of(cur.id) {
+            if !visited.insert(nb) {
+                continue;
+            }
+            let d = dist.eval(query, base.vector(nb));
+            let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
+            if results.len() < ef || d < worst {
+                candidates.push(Reverse(Neighbor::new(d, nb)));
+                results.push(Neighbor::new(d, nb));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+    }
+    let mut v = results.into_vec();
+    v.sort_unstable();
+    v
+}
+
+/// The HNSW select-neighbors heuristic: scan candidates in ascending
+/// distance; keep one if it is closer to the query than to every already
+/// kept neighbor. Falls back to nearest-first fill if too few survive.
+fn select_neighbors(
+    base: &Dataset,
+    query: &[f32],
+    candidates: &[Neighbor],
+    m: usize,
+    dist: DistanceKind,
+) -> Vec<Neighbor> {
+    let _ = query;
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(m);
+    for &c in candidates {
+        if kept.len() >= m {
+            break;
+        }
+        let dominated = kept.iter().any(|&s| {
+            dist.eval(base.vector(c.id), base.vector(s.id)) < c.distance
+        });
+        if !dominated {
+            kept.push(c);
+        }
+    }
+    if kept.len() < m {
+        for &c in candidates {
+            if kept.len() >= m {
+                break;
+            }
+            if !kept.iter().any(|s| s.id == c.id) {
+                kept.push(c);
+            }
+        }
+    }
+    kept
+}
+
+/// Prunes a vertex's layer-0 list to `max_links` using nearest-first.
+fn prune_list(
+    base: &Dataset,
+    owner: VectorId,
+    list: &mut Vec<VectorId>,
+    max_links: usize,
+    dist: DistanceKind,
+) {
+    list.sort_unstable();
+    list.dedup();
+    if list.len() <= max_links {
+        return;
+    }
+    let ov = base.vector(owner).to_vec();
+    list.sort_by(|&a, &b| {
+        let da = dist.eval(&ov, base.vector(a));
+        let db = dist.eval(&ov, base.vector(b));
+        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+    });
+    list.truncate(max_links);
+}
+
+fn prune_hash_list(
+    base: &Dataset,
+    owner: VectorId,
+    list: &mut Vec<VectorId>,
+    max_links: usize,
+    dist: DistanceKind,
+) {
+    prune_list(base, owner, list, max_links, dist);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_vector::recall::{ground_truth, recall_at_k};
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    #[test]
+    fn build_produces_connected_base_layer() {
+        let ds = DatasetSpec::sift_scaled(400, 1).build();
+        let index = Hnsw::build(&ds, HnswParams::default());
+        let g = index.base_graph();
+        assert_eq!(g.num_vertices(), 400);
+        // Every vertex has at least one link.
+        let isolated = (0..400u32).filter(|&v| g.degree(v) == 0).count();
+        assert_eq!(isolated, 0, "{isolated} isolated vertices");
+        // Degrees bounded by 2M.
+        assert!(g.max_degree() <= 2 * index.params().m);
+    }
+
+    #[test]
+    fn recall_is_high_on_clustered_data() {
+        let spec = DatasetSpec::sift_scaled(800, 20);
+        let (base, queries) = spec.build_pair();
+        let index = Hnsw::build(&base, HnswParams::default());
+        let params = SearchParams::new(10, 80, DistanceKind::L2);
+        let out = index.search_batch(&base, &queries, &params);
+        let gt = ground_truth(&base, &queries, 10, DistanceKind::L2);
+        let r = recall_at_k(&gt, &out.id_lists(), 10);
+        assert!(r >= 0.90, "recall@10 = {r}");
+    }
+
+    #[test]
+    fn traces_accompany_results() {
+        let spec = DatasetSpec::deep_scaled(300, 5);
+        let (base, queries) = spec.build_pair();
+        let index = Hnsw::build(&base, HnswParams::default());
+        let out = index.search_batch(&base, &queries, &SearchParams::default());
+        assert_eq!(out.trace.len(), 5);
+        for q in &out.trace.queries {
+            assert!(!q.is_empty(), "every query should visit vertices");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = DatasetSpec::glove_scaled(200, 1).build();
+        let a = Hnsw::build(&ds, HnswParams::default());
+        let b = Hnsw::build(&ds, HnswParams::default());
+        assert_eq!(a.base_graph(), b.base_graph());
+        assert_eq!(a.entry_point(), b.entry_point());
+    }
+
+    #[test]
+    fn search_self_returns_self() {
+        let ds = DatasetSpec::sift_scaled(300, 1).build();
+        let index = Hnsw::build(&ds, HnswParams::default());
+        let mut vs = VisitedSet::new(ds.len());
+        let (found, _) = index.search_one(
+            &ds,
+            ds.vector(42),
+            &SearchParams::new(1, 32, DistanceKind::L2),
+            &mut vs,
+        );
+        assert_eq!(found[0].id, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset must not be empty")]
+    fn empty_dataset_panics() {
+        Hnsw::build(&Dataset::new(4), HnswParams::default());
+    }
+}

@@ -1,0 +1,136 @@
+//! The common interface every graph-traversal ANNS index implements.
+
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::{DistanceKind, VectorId};
+
+use crate::trace::BatchTrace;
+
+/// Search-phase parameters shared by all algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchParams {
+    /// How many neighbors to return per query (top-k).
+    pub k: usize,
+    /// Beam width `ef` — the size of the result list kept during traversal.
+    pub beam_width: usize,
+    /// Distance function (must match the one used at construction).
+    pub distance: DistanceKind,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            beam_width: 64,
+            distance: DistanceKind::L2,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `beam_width == 0` or `beam_width < k`.
+    pub fn new(k: usize, beam_width: usize, distance: DistanceKind) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(beam_width >= k, "beam width must be at least k");
+        Self {
+            k,
+            beam_width,
+            distance,
+        }
+    }
+}
+
+/// Results + trace of a batch search.
+#[derive(Debug, Clone)]
+pub struct SearchOutput {
+    /// Per query: the top-k neighbors, ascending by distance.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Per query: the memory trace, in the same order.
+    pub trace: BatchTrace,
+}
+
+impl SearchOutput {
+    /// Extracts bare id lists (for recall evaluation).
+    pub fn id_lists(&self) -> Vec<Vec<VectorId>> {
+        self.results
+            .iter()
+            .map(|r| r.iter().map(|n| n.id).collect())
+            .collect()
+    }
+}
+
+/// Which algorithm an index implements (used for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnnsAlgorithm {
+    /// Hierarchical navigable small world graphs.
+    Hnsw,
+    /// DiskANN's Vamana graph.
+    DiskAnn,
+    /// Hierarchical-clustering-based graph.
+    Hcnng,
+    /// Two-stage routing on a proximity graph.
+    Togg,
+    /// Exact brute force (baseline / ground truth).
+    BruteForce,
+}
+
+impl std::fmt::Display for AnnsAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AnnsAlgorithm::Hnsw => "HNSW",
+            AnnsAlgorithm::DiskAnn => "DiskANN",
+            AnnsAlgorithm::Hcnng => "HCNNG",
+            AnnsAlgorithm::Togg => "TOGG",
+            AnnsAlgorithm::BruteForce => "BruteForce",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A built graph-traversal ANNS index.
+///
+/// The trait is object safe so experiment harnesses can hold a
+/// heterogeneous list of algorithms.
+pub trait GraphAnnsIndex {
+    /// Which algorithm this is.
+    fn algorithm(&self) -> AnnsAlgorithm;
+
+    /// The base proximity graph that gets placed on flash (for HNSW this
+    /// is layer 0, which holds every vertex).
+    fn base_graph(&self) -> &Csr;
+
+    /// Runs the search phase for a batch of queries, recording traces.
+    fn search_batch(
+        &self,
+        base: &Dataset,
+        queries: &Dataset,
+        params: &SearchParams,
+    ) -> SearchOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        let p = SearchParams::default();
+        assert!(p.beam_width >= p.k);
+    }
+
+    #[test]
+    #[should_panic(expected = "beam width must be at least k")]
+    fn beam_below_k_panics() {
+        SearchParams::new(10, 5, DistanceKind::L2);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(AnnsAlgorithm::Hnsw.to_string(), "HNSW");
+        assert_eq!(AnnsAlgorithm::DiskAnn.to_string(), "DiskANN");
+    }
+}

@@ -1,0 +1,160 @@
+//! Recall-target tuning (§VII-A).
+//!
+//! The paper tunes each algorithm/dataset pair so that recall@10 reaches a
+//! per-benchmark target (95/95/94/93/90 %) before measuring throughput —
+//! otherwise platforms could trade accuracy for speed. This module finds
+//! the smallest beam width (`ef`) that reaches a recall target, the same
+//! knob hnswlib/DiskANN expose, by binary search over a doubling bracket.
+
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::recall::{ground_truth, recall_at_k};
+use ndsearch_vector::VectorId;
+
+use crate::index::{GraphAnnsIndex, SearchParams};
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedSearch {
+    /// The smallest beam width that met the target (or the cap).
+    pub beam_width: usize,
+    /// Recall@k achieved at that beam width.
+    pub recall: f64,
+    /// Whether the target was actually reached (false = capped out).
+    pub reached: bool,
+    /// The `(beam, recall)` evaluations performed, in order — the
+    /// recall-throughput tradeoff curve the paper's §II-A describes.
+    pub curve: Vec<(usize, f64)>,
+}
+
+/// Finds the smallest beam width whose recall@`k` on `queries` meets
+/// `target`, probing beams `k, 2k, 4k, …` up to `max_beam` and then
+/// binary-searching the bracket.
+///
+/// # Panics
+/// Panics if `k == 0`, `target` is not in `(0, 1]`, or `queries` is empty.
+pub fn tune_beam_width(
+    index: &dyn GraphAnnsIndex,
+    base: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    target: f64,
+    max_beam: usize,
+    distance: ndsearch_vector::DistanceKind,
+) -> TunedSearch {
+    assert!(k > 0, "k must be positive");
+    assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1]");
+    assert!(!queries.is_empty(), "queries must not be empty");
+    let truth = ground_truth(base, queries, k, distance);
+    let mut curve = Vec::new();
+    let mut eval = |beam: usize| -> f64 {
+        let params = SearchParams::new(k, beam.max(k), distance);
+        let out = index.search_batch(base, queries, &params);
+        let ids: Vec<Vec<VectorId>> = out.id_lists();
+        let r = recall_at_k(&truth, &ids, k);
+        curve.push((beam.max(k), r));
+        r
+    };
+
+    // Doubling bracket.
+    let mut lo = k;
+    let mut lo_recall = eval(lo);
+    if lo_recall >= target {
+        return TunedSearch {
+            beam_width: lo,
+            recall: lo_recall,
+            reached: true,
+            curve,
+        };
+    }
+    let mut hi = lo;
+    let mut hi_recall = lo_recall;
+    while hi < max_beam && hi_recall < target {
+        hi = (hi * 2).min(max_beam);
+        hi_recall = eval(hi);
+    }
+    if hi_recall < target {
+        return TunedSearch {
+            beam_width: hi,
+            recall: hi_recall,
+            reached: false,
+            curve,
+        };
+    }
+
+    // Binary search the (lo, hi] bracket for the smallest passing beam.
+    let mut best = hi;
+    let mut best_recall = hi_recall;
+    while hi - lo > (lo / 8).max(1) {
+        let mid = lo + (hi - lo) / 2;
+        let r = eval(mid);
+        if r >= target {
+            hi = mid;
+            best = mid;
+            best_recall = r;
+        } else {
+            lo = mid;
+            lo_recall = r;
+        }
+    }
+    let _ = lo_recall;
+    TunedSearch {
+        beam_width: best,
+        recall: best_recall,
+        reached: true,
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vamana::{Vamana, VamanaParams};
+    use ndsearch_vector::synthetic::DatasetSpec;
+    use ndsearch_vector::DistanceKind;
+
+    fn fixture() -> (Dataset, Dataset, Vamana) {
+        let (base, queries) = DatasetSpec::sift_scaled(500, 16).build_pair();
+        let index = Vamana::build(&base, VamanaParams::default());
+        (base, queries, index)
+    }
+
+    #[test]
+    fn tuning_reaches_paper_targets() {
+        let (base, queries, index) = fixture();
+        let tuned = tune_beam_width(&index, &base, &queries, 10, 0.94, 512, DistanceKind::L2);
+        assert!(tuned.reached, "0.94 should be reachable: {:?}", tuned.curve);
+        assert!(tuned.recall >= 0.94);
+        assert!(tuned.beam_width >= 10);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone_in_beam() {
+        let (base, queries, index) = fixture();
+        let tuned = tune_beam_width(&index, &base, &queries, 10, 0.99, 256, DistanceKind::L2);
+        let mut sorted = tuned.curve.clone();
+        sorted.sort_by_key(|&(b, _)| b);
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 0.05,
+                "recall should not collapse as beam grows: {sorted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_target_reports_capped() {
+        let (base, queries, index) = fixture();
+        // Cap the beam so low that 100% recall cannot be reached.
+        let tuned = tune_beam_width(&index, &base, &queries, 10, 1.0, 12, DistanceKind::L2);
+        if !tuned.reached {
+            assert_eq!(tuned.beam_width, 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in (0, 1]")]
+    fn bad_target_panics() {
+        let (base, queries, index) = fixture();
+        tune_beam_width(&index, &base, &queries, 10, 1.5, 64, DistanceKind::L2);
+    }
+}

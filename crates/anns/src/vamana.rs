@@ -1,0 +1,350 @@
+//! Vamana — the graph behind DiskANN (Subramanya et al., NeurIPS'19).
+//!
+//! Vamana builds a single-layer, degree-bounded (R) proximity graph by
+//! iterating over vertices in random order: greedy-search the current graph
+//! from the medoid with the vertex as the query, then *robust-prune* the
+//! visited set with slack factor α (> 1 keeps longer-range "highway" edges,
+//! giving DiskANN its few-hop searches). Two passes are run, the first with
+//! α = 1 and the second with the target α. Search is a plain beam search
+//! from the medoid — identical to HNSW's layer-0 search, which is why both
+//! share [`crate::beam::beam_search`].
+
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::rng::Pcg32;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::{DistanceKind, VectorId};
+
+use crate::beam::{beam_search, VisitedSet};
+use crate::index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};
+use crate::trace::BatchTrace;
+
+/// Vamana construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VamanaParams {
+    /// Max out-degree R (the paper's data-layout example uses R = 32).
+    pub r: usize,
+    /// Construction beam width (DiskANN's L).
+    pub l_build: usize,
+    /// Pruning slack α for the second pass.
+    pub alpha: f32,
+    /// Distance function.
+    pub distance: DistanceKind,
+    /// RNG seed (random init graph + iteration order).
+    pub seed: u64,
+}
+
+impl Default for VamanaParams {
+    fn default() -> Self {
+        Self {
+            r: 32,
+            l_build: 75,
+            alpha: 1.2,
+            distance: DistanceKind::L2,
+            seed: 0xD15C,
+        }
+    }
+}
+
+/// A built Vamana/DiskANN index.
+#[derive(Debug, Clone)]
+pub struct Vamana {
+    params: VamanaParams,
+    graph: Csr,
+    medoid: VectorId,
+}
+
+impl Vamana {
+    /// Builds the index.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn build(base: &Dataset, params: VamanaParams) -> Self {
+        assert!(!base.is_empty(), "dataset must not be empty");
+        let n = base.len();
+        let dist = params.distance;
+        let mut rng = Pcg32::seed_from_u64(params.seed);
+
+        // Random R-regular initial graph.
+        let mut adj: Vec<Vec<VectorId>> = (0..n)
+            .map(|v| {
+                let mut list = Vec::with_capacity(params.r.min(n - 1));
+                while list.len() < params.r.min(n.saturating_sub(1)) {
+                    let c = rng.index(n) as VectorId;
+                    if c != v as VectorId && !list.contains(&c) {
+                        list.push(c);
+                    }
+                }
+                list
+            })
+            .collect();
+
+        let medoid = approximate_medoid(base, dist);
+        let mut order: Vec<VectorId> = (0..n as u32).collect();
+
+        // Two passes: α = 1.0 then the target α.
+        for &alpha in &[1.0f32, params.alpha] {
+            rng.shuffle(&mut order);
+            for &v in &order {
+                let q = base.vector(v);
+                // Greedy search the current graph for v's neighborhood.
+                let visited = search_collect(base, &adj, q, medoid, params.l_build, dist);
+                let mut pool: Vec<Neighbor> = visited
+                    .into_iter()
+                    .filter(|nb| nb.id != v)
+                    .collect();
+                // Include current neighbors in the pool.
+                for &nb in &adj[v as usize] {
+                    if nb != v && !pool.iter().any(|p| p.id == nb) {
+                        pool.push(Neighbor::new(dist.eval(q, base.vector(nb)), nb));
+                    }
+                }
+                let pruned = robust_prune(base, v, pool, alpha, params.r, dist);
+                adj[v as usize] = pruned.clone();
+                // Add reverse edges, pruning overfull lists.
+                for nb in pruned {
+                    if !adj[nb as usize].contains(&v) {
+                        adj[nb as usize].push(v);
+                        if adj[nb as usize].len() > params.r {
+                            let pool: Vec<Neighbor> = adj[nb as usize]
+                                .iter()
+                                .map(|&u| {
+                                    Neighbor::new(
+                                        dist.eval(base.vector(nb), base.vector(u)),
+                                        u,
+                                    )
+                                })
+                                .collect();
+                            adj[nb as usize] =
+                                robust_prune(base, nb, pool, alpha, params.r, dist);
+                        }
+                    }
+                }
+            }
+        }
+
+        let graph = Csr::from_adjacency(&adj).expect("ids validated during build");
+        Self {
+            params,
+            graph,
+            medoid,
+        }
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &VamanaParams {
+        &self.params
+    }
+
+    /// The medoid used as the search entry point.
+    pub fn medoid(&self) -> VectorId {
+        self.medoid
+    }
+}
+
+impl GraphAnnsIndex for Vamana {
+    fn algorithm(&self) -> AnnsAlgorithm {
+        AnnsAlgorithm::DiskAnn
+    }
+
+    fn base_graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn search_batch(
+        &self,
+        base: &Dataset,
+        queries: &Dataset,
+        params: &SearchParams,
+    ) -> SearchOutput {
+        let mut visited = VisitedSet::new(base.len());
+        let mut results = Vec::with_capacity(queries.len());
+        let mut traces = Vec::with_capacity(queries.len());
+        for (_, q) in queries.iter() {
+            let mut out = beam_search(
+                base,
+                &self.graph,
+                q,
+                &[self.medoid],
+                params.beam_width,
+                params.distance,
+                &mut visited,
+            );
+            out.found.truncate(params.k);
+            results.push(out.found);
+            traces.push(out.trace);
+        }
+        SearchOutput {
+            results,
+            trace: BatchTrace { queries: traces },
+        }
+    }
+}
+
+/// Vertex closest to the dataset centroid (cheap medoid approximation).
+pub fn approximate_medoid(base: &Dataset, dist: DistanceKind) -> VectorId {
+    let dim = base.dim();
+    let mut centroid = vec![0.0f32; dim];
+    for (_, v) in base.iter() {
+        for (c, x) in centroid.iter_mut().zip(v) {
+            *c += x;
+        }
+    }
+    let n = base.len() as f32;
+    for c in &mut centroid {
+        *c /= n;
+    }
+    let mut best = Neighbor::new(f32::INFINITY, 0);
+    for (id, v) in base.iter() {
+        let d = dist.eval(&centroid, v);
+        let cand = Neighbor::new(d, id);
+        if cand < best {
+            best = cand;
+        }
+    }
+    best.id
+}
+
+/// Greedy search over a mutable adjacency returning the *visited* pool
+/// (ids + distances), as Vamana's build needs.
+fn search_collect(
+    base: &Dataset,
+    adj: &[Vec<VectorId>],
+    query: &[f32],
+    entry: VectorId,
+    l: usize,
+    dist: DistanceKind,
+) -> Vec<Neighbor> {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
+    let mut seen: HashSet<VectorId> = HashSet::new();
+    let mut frontier = BinaryHeap::new();
+    let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
+    let mut pool = Vec::new();
+    let d0 = dist.eval(query, base.vector(entry));
+    seen.insert(entry);
+    frontier.push(Reverse(Neighbor::new(d0, entry)));
+    results.push(Neighbor::new(d0, entry));
+    pool.push(Neighbor::new(d0, entry));
+    while let Some(Reverse(cur)) = frontier.pop() {
+        let worst = results.peek().map(|x| x.distance).unwrap_or(f32::INFINITY);
+        if results.len() >= l && cur.distance > worst {
+            break;
+        }
+        for &nb in &adj[cur.id as usize] {
+            if !seen.insert(nb) {
+                continue;
+            }
+            let d = dist.eval(query, base.vector(nb));
+            pool.push(Neighbor::new(d, nb));
+            let worst = results.peek().map(|x| x.distance).unwrap_or(f32::INFINITY);
+            if results.len() < l || d < worst {
+                frontier.push(Reverse(Neighbor::new(d, nb)));
+                results.push(Neighbor::new(d, nb));
+                if results.len() > l {
+                    results.pop();
+                }
+            }
+        }
+    }
+    pool
+}
+
+/// DiskANN's RobustPrune: scan candidates nearest-first; keep `c` unless an
+/// already kept neighbor `s` satisfies α · d(s, c) ≤ d(v, c).
+fn robust_prune(
+    base: &Dataset,
+    v: VectorId,
+    mut pool: Vec<Neighbor>,
+    alpha: f32,
+    r: usize,
+    dist: DistanceKind,
+) -> Vec<VectorId> {
+    pool.sort_unstable();
+    pool.dedup_by_key(|n| n.id);
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(r);
+    for c in pool {
+        if c.id == v {
+            continue;
+        }
+        if kept.len() >= r {
+            break;
+        }
+        let dominated = kept.iter().any(|s| {
+            alpha * dist.eval(base.vector(s.id), base.vector(c.id)) <= c.distance
+        });
+        if !dominated {
+            kept.push(c);
+        }
+    }
+    kept.into_iter().map(|n| n.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_vector::recall::{ground_truth, recall_at_k};
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    #[test]
+    fn degrees_are_bounded_by_r() {
+        let ds = DatasetSpec::sift_scaled(400, 1).build();
+        let index = Vamana::build(&ds, VamanaParams::default());
+        assert!(index.base_graph().max_degree() <= index.params().r + 1);
+    }
+
+    #[test]
+    fn recall_is_high() {
+        let spec = DatasetSpec::deep_scaled(800, 20);
+        let (base, queries) = spec.build_pair();
+        let index = Vamana::build(&base, VamanaParams::default());
+        let params = SearchParams::new(10, 80, DistanceKind::L2);
+        let out = index.search_batch(&base, &queries, &params);
+        let gt = ground_truth(&base, &queries, 10, DistanceKind::L2);
+        let r = recall_at_k(&gt, &out.id_lists(), 10);
+        assert!(r >= 0.90, "recall@10 = {r}");
+    }
+
+    #[test]
+    fn medoid_is_central() {
+        // On a line of points, the medoid must be near the middle.
+        let ds = Dataset::from_rows(1, (0..101).map(|i| vec![i as f32]).collect()).unwrap();
+        let m = approximate_medoid(&ds, DistanceKind::L2);
+        assert_eq!(m, 50);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ds = DatasetSpec::spacev_scaled(300, 1).build();
+        let a = Vamana::build(&ds, VamanaParams::default());
+        let b = Vamana::build(&ds, VamanaParams::default());
+        assert_eq!(a.base_graph(), b.base_graph());
+    }
+
+    #[test]
+    fn robust_prune_respects_r() {
+        let ds = DatasetSpec::sift_scaled(100, 1).build();
+        let pool: Vec<Neighbor> = (1..100u32)
+            .map(|i| Neighbor::new(DistanceKind::L2.eval_ids(&ds, 0, i), i))
+            .collect();
+        let kept = robust_prune(&ds, 0, pool, 1.2, 8, DistanceKind::L2);
+        assert!(kept.len() <= 8);
+        assert!(!kept.contains(&0));
+    }
+
+    #[test]
+    fn alpha_one_keeps_fewer_long_edges() {
+        let ds = DatasetSpec::sift_scaled(200, 1).build();
+        let pool: Vec<Neighbor> = (1..200u32)
+            .map(|i| Neighbor::new(DistanceKind::L2.eval_ids(&ds, 0, i), i))
+            .collect();
+        let tight = robust_prune(&ds, 0, pool.clone(), 1.0, 32, DistanceKind::L2);
+        let slack = robust_prune(&ds, 0, pool, 1.5, 32, DistanceKind::L2);
+        assert!(
+            slack.len() >= tight.len(),
+            "α>1 keeps at least as many edges ({} vs {})",
+            slack.len(),
+            tight.len()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline platform models for the NDSEARCH comparison (§VII-A).
+//!
+//! Every platform replays the *same* search traces recorded by the real
+//! algorithms in `ndsearch-anns`, exactly as the paper's trace-driven
+//! methodology does. The models differ in where feature vectors live, what
+//! link they cross, and how much parallelism serves the accesses:
+//!
+//! * [`cpu::CpuPlatform`] — 2× Xeon-class CPUs with 24 GB DRAM; datasets
+//!   whose *original* corpus exceeds memory are k-means-sharded on SSD and
+//!   shard misses cross PCIe 3.0 ×16 at 4 KiB granularity (the Fig. 1/2
+//!   bottleneck). A terabyte-DRAM variant (`CPU-T`, Fig. 21) removes the
+//!   misses but keeps DRAM-latency-bound traversal.
+//! * [`gpu::GpuPlatform`] — Titan-RTX-class: 24 GB VRAM, massive compute
+//!   parallelism, same PCIe wall for billion-scale corpora.
+//! * [`smartssd::SmartSsdPlatform`] — the SmartSSD-only design of [47]: an
+//!   FPGA behind a private PCIe 3.0 ×4 link; no in-NAND logic, so every
+//!   visited vertex drags a 4 KiB block across the ×4 link.
+//! * [`deepstore::DeepStorePlatform`] — DeepStore-style in-storage
+//!   accelerators at channel (DS-c) or chip (DS-cp) granularity: they
+//!   exploit internal bandwidth but pay the ~30 µs page-buffer→accelerator
+//!   move and serialize LUN data-out on shared buses.
+//!
+//! Each model returns a [`platform::PlatformReport`] with latency split
+//! into I/O, compute and sort, plus a wall-plug power figure for the
+//! energy-efficiency comparison (Fig. 20).
+
+pub mod cpu;
+pub mod deepstore;
+pub mod gpu;
+pub mod platform;
+pub mod smartssd;
+
+pub use cpu::CpuPlatform;
+pub use deepstore::{AcceleratorLevel, DeepStorePlatform};
+pub use gpu::GpuPlatform;
+pub use platform::{Platform, PlatformReport, Scenario};
+pub use smartssd::SmartSsdPlatform;

@@ -1,0 +1,138 @@
+//! The shared platform interface and report type.
+
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_core::config::NdsConfig;
+use ndsearch_flash::timing::Nanos;
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::synthetic::BenchmarkId;
+
+/// Inputs every platform model replays.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario<'a> {
+    /// Which paper benchmark this models (drives the *original* corpus
+    /// footprint used in exceeds-memory decisions).
+    pub benchmark: BenchmarkId,
+    /// The scaled base dataset.
+    pub base: &'a Dataset,
+    /// The proximity graph (construction-order ids).
+    pub graph: &'a Csr,
+    /// Recorded memory traces for the batch.
+    pub trace: &'a BatchTrace,
+    /// Shared architectural configuration (geometry, timing, links).
+    pub config: &'a NdsConfig,
+    /// Top-k requested.
+    pub k: usize,
+}
+
+impl Scenario<'_> {
+    /// Bytes per vertex under the legacy interleaved layout (vector + R
+    /// padded neighbor ids) that hnswlib/DiskANN use on CPU/GPU.
+    pub fn legacy_vertex_bytes(&self) -> u64 {
+        self.base.stored_vector_bytes() as u64 + 32 * 4
+    }
+
+    /// Bytes the *original* (billion-scale where applicable) corpus
+    /// occupies under the legacy layout.
+    pub fn original_corpus_bytes(&self) -> u64 {
+        self.benchmark.original_count() * self.legacy_vertex_bytes()
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// What a platform replay produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformReport {
+    /// Display name ("CPU", "DS-cp", …).
+    pub name: String,
+    /// Queries simulated.
+    pub queries: usize,
+    /// End-to-end batch latency.
+    pub total_ns: Nanos,
+    /// Of which: storage/PCIe I/O.
+    pub io_ns: Nanos,
+    /// Of which: compute + memory traversal.
+    pub compute_ns: Nanos,
+    /// Of which: top-k sort.
+    pub sort_ns: Nanos,
+    /// Bytes moved over the bottleneck link.
+    pub io_bytes: u64,
+    /// Wall-plug power while running, watts.
+    pub power_w: f64,
+}
+
+impl PlatformReport {
+    /// Throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.total_ns as f64 / 1e9)
+        }
+    }
+
+    /// Energy efficiency in QPS per watt (Fig. 20's metric).
+    pub fn qps_per_watt(&self) -> f64 {
+        if self.power_w <= 0.0 {
+            0.0
+        } else {
+            self.qps() / self.power_w
+        }
+    }
+
+    /// Fraction of time spent in storage I/O (Fig. 1's metric).
+    pub fn io_fraction(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.io_ns as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Achieved / peak utilization of a link moving `io_bytes` during
+    /// `io_ns` (Fig. 2a's metric).
+    pub fn link_utilization(&self, peak_bytes_per_s: f64) -> f64 {
+        if self.io_ns == 0 || peak_bytes_per_s <= 0.0 {
+            return 0.0;
+        }
+        let achieved = self.io_bytes as f64 / (self.io_ns as f64 / 1e9);
+        (achieved / peak_bytes_per_s).min(1.0)
+    }
+}
+
+/// A platform model.
+pub trait Platform {
+    /// Display name.
+    fn name(&self) -> String;
+
+    /// Replays the scenario and reports latency/energy.
+    fn report(&self, scenario: &Scenario<'_>) -> PlatformReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let r = PlatformReport {
+            name: "x".into(),
+            queries: 100,
+            total_ns: 1_000_000,
+            io_ns: 600_000,
+            compute_ns: 300_000,
+            sort_ns: 100_000,
+            io_bytes: 6_000,
+            power_w: 50.0,
+        };
+        assert!((r.qps() - 100_000.0).abs() < 1e-6);
+        assert!((r.io_fraction() - 0.6).abs() < 1e-12);
+        assert!((r.qps_per_watt() - 2_000.0).abs() < 1e-6);
+        // 6000 B in 600 µs = 10 MB/s.
+        assert!((r.link_utilization(20e6) - 0.5).abs() < 1e-9);
+    }
+}

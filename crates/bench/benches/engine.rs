@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the search kernel and the NDSEARCH engine:
+//! beam search over a built graph, static-scheduling staging, a full
+//! engine batch, and the platform replay models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ndsearch_anns::beam::{beam_search, VisitedSet};
+use ndsearch_anns::hnsw::{Hnsw, HnswParams};
+use ndsearch_anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch_baselines::{CpuPlatform, DeepStorePlatform, Platform, Scenario};
+use ndsearch_core::config::{NdsConfig, SchedulingConfig};
+use ndsearch_core::pipeline::Prepared;
+use ndsearch_core::NdsEngine;
+use ndsearch_vector::synthetic::{BenchmarkId, DatasetSpec};
+use ndsearch_vector::DistanceKind;
+
+struct Fixture {
+    base: ndsearch_vector::Dataset,
+    queries: ndsearch_vector::Dataset,
+    index: Hnsw,
+    trace: ndsearch_anns::trace::BatchTrace,
+    config: NdsConfig,
+}
+
+fn fixture() -> Fixture {
+    let (base, queries) = DatasetSpec::sift_scaled(2000, 128).build_pair();
+    let index = Hnsw::build(&base, HnswParams::default());
+    let out = index.search_batch(&base, &queries, &SearchParams::default());
+    let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    Fixture {
+        base,
+        queries,
+        index,
+        trace: out.trace,
+        config,
+    }
+}
+
+fn bench_beam_search(c: &mut Criterion) {
+    let fx = fixture();
+    let mut visited = VisitedSet::new(fx.base.len());
+    c.bench_function("beam_search_ef64", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % fx.queries.len();
+            beam_search(
+                &fx.base,
+                fx.index.base_graph(),
+                black_box(fx.queries.vector(qi as u32)),
+                &[fx.index.entry_point()],
+                64,
+                DistanceKind::L2,
+                &mut visited,
+            )
+        })
+    });
+}
+
+fn bench_staging(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("static_scheduling_stage", |b| {
+        b.iter(|| {
+            Prepared::stage(
+                black_box(&fx.config),
+                fx.index.base_graph(),
+                &fx.base,
+                &fx.trace,
+            )
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let fx = fixture();
+    let prepared = Prepared::stage(&fx.config, fx.index.base_graph(), &fx.base, &fx.trace);
+    let mut bare_cfg = fx.config.clone();
+    bare_cfg.scheduling = SchedulingConfig::bare();
+    let prepared_bare =
+        Prepared::stage(&bare_cfg, fx.index.base_graph(), &fx.base, &fx.trace);
+    let mut g = c.benchmark_group("engine_batch128");
+    g.sample_size(20);
+    g.bench_function("full_scheduling", |b| {
+        b.iter(|| NdsEngine::new(&fx.config).run(black_box(&prepared)))
+    });
+    g.bench_function("bare", |b| {
+        b.iter(|| NdsEngine::new(&bare_cfg).run(black_box(&prepared_bare)))
+    });
+    g.finish();
+}
+
+fn bench_platform_models(c: &mut Criterion) {
+    let fx = fixture();
+    let scenario = Scenario {
+        benchmark: BenchmarkId::Sift1B,
+        base: &fx.base,
+        graph: fx.index.base_graph(),
+        trace: &fx.trace,
+        config: &fx.config,
+        k: 10,
+    };
+    let mut g = c.benchmark_group("platform_replay");
+    g.sample_size(20);
+    g.bench_function("cpu", |b| {
+        b.iter(|| CpuPlatform::paper_default().report(black_box(&scenario)))
+    });
+    g.bench_function("ds_cp", |b| {
+        b.iter(|| DeepStorePlatform::chip_level().report(black_box(&scenario)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_beam_search,
+    bench_staging,
+    bench_engine,
+    bench_platform_models
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion microbenchmarks for the computational kernels: distance
+//! functions, bitonic sort vs std sort, top-k, reordering algorithms and
+//! LUNCSR address inference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use ndsearch_anns::bitonic::bitonic_sort;
+use ndsearch_flash::geometry::FlashGeometry;
+use ndsearch_graph::csr::Csr;
+use ndsearch_graph::luncsr::LunCsr;
+use ndsearch_graph::mapping::{PlacementPolicy, VertexMapping};
+use ndsearch_graph::reorder::ReorderMethod;
+use ndsearch_vector::distance::{angular, l2_squared, neg_inner_product};
+use ndsearch_vector::rng::Pcg32;
+use ndsearch_vector::topk::{Neighbor, TopK};
+
+fn random_vec(rng: &mut Pcg32, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.next_f32()).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(1);
+    let a = random_vec(&mut rng, 128);
+    let b = random_vec(&mut rng, 128);
+    let mut g = c.benchmark_group("distance_128d");
+    g.bench_function("l2_squared", |bch| {
+        bch.iter(|| l2_squared(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("angular", |bch| {
+        bch.iter(|| angular(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("inner_product", |bch| {
+        bch.iter(|| neg_inner_product(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(2);
+    let data: Vec<u32> = (0..1024).map(|_| rng.next_u32()).collect();
+    let mut g = c.benchmark_group("sort_1024");
+    g.bench_function("bitonic_network", |bch| {
+        bch.iter_batched(
+            || data.clone(),
+            |mut v| {
+                bitonic_sort(&mut v);
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_sort_unstable", |bch| {
+        bch.iter_batched(
+            || data.clone(),
+            |mut v| {
+                v.sort_unstable();
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(3);
+    let entries: Vec<Neighbor> = (0..4096)
+        .map(|i| Neighbor::new(rng.next_f32(), i))
+        .collect();
+    c.bench_function("topk_10_of_4096", |bch| {
+        bch.iter(|| {
+            let mut top = TopK::new(10);
+            for &n in &entries {
+                top.push(n);
+            }
+            top.into_sorted_vec()
+        })
+    });
+}
+
+fn ring_graph(n: usize) -> Csr {
+    let lists: Vec<Vec<u32>> = (0..n as u32)
+        .map(|v| {
+            vec![
+                (v + 1) % n as u32,
+                (v + 7) % n as u32,
+                (v + n as u32 - 1) % n as u32,
+            ]
+        })
+        .collect();
+    Csr::from_adjacency(&lists).unwrap()
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let g = ring_graph(4096);
+    let shuffled = g.relabel(&ReorderMethod::RandomShuffle.permutation(&g, 9));
+    let mut grp = c.benchmark_group("reorder_4096");
+    grp.bench_function("degree_ascending_bfs", |bch| {
+        bch.iter(|| ReorderMethod::DegreeAscendingBfs.permutation(black_box(&shuffled), 0))
+    });
+    grp.bench_function("random_bfs", |bch| {
+        bch.iter(|| ReorderMethod::RandomBfs.permutation(black_box(&shuffled), 1))
+    });
+    grp.finish();
+}
+
+fn bench_luncsr_inference(c: &mut Criterion) {
+    let n = 8192;
+    let csr = ring_graph(n);
+    let mapping = VertexMapping::place(
+        FlashGeometry::searssd_scaled(64),
+        n,
+        128,
+        PlacementPolicy::MultiPlaneAware,
+    );
+    let luncsr = LunCsr::new(csr, mapping);
+    c.bench_function("luncsr_physical_addr", |bch| {
+        let mut v = 0u32;
+        bch.iter(|| {
+            v = (v + 97) % n as u32;
+            luncsr.physical_addr(black_box(v))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_sorts,
+    bench_topk,
+    bench_reorder,
+    bench_luncsr_inference
+);
+criterion_main!(benches);

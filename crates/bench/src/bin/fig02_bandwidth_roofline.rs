@@ -1,0 +1,58 @@
+//! Fig. 2 — (a) host PCIe bandwidth utilization saturates as batch size
+//! grows; (b) the roofline lift: SearSSD's internal bandwidth (819.2 GB/s
+//! when every page buffer streams) versus the 15.4 GB/s host link, and the
+//! resulting NDSEARCH speedup over CPU.
+
+use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_bench::{build_workload, f, print_table};
+use ndsearch_baselines::{CpuPlatform, Platform};
+use ndsearch_flash::{FlashGeometry, FlashTiming};
+use ndsearch_vector::synthetic::BenchmarkId;
+
+fn main() {
+    // (a) Utilization vs batch size on HNSW/sift.
+    let mut rows = Vec::new();
+    let cpu = CpuPlatform::paper_default();
+    for batch in [16usize, 64, 256, 1024, 2048, 4096, 8192] {
+        let w = build_workload(BenchmarkId::Sift1B, AnnsAlgorithm::Hnsw, batch);
+        let r = cpu.report(&w.scenario());
+        rows.push(vec![
+            batch.to_string(),
+            f(100.0 * r.link_utilization(cpu.pcie_bytes_per_s), 1),
+        ]);
+    }
+    print_table(
+        "Fig. 2a (HNSW on sift-1b, CPU): PCIe bandwidth utilization vs batch",
+        &["batch", "utilization %"],
+        &rows,
+    );
+    println!("Paper reference: saturates to ~83% past batch 1024.");
+
+    // (b) Roofline lift + speedup.
+    let timing = FlashTiming::default();
+    let geom = FlashGeometry::searssd_default();
+    let internal = timing.internal_bandwidth_bytes_per_s(&geom);
+    println!("\n== Fig. 2b: roofline lifting ==");
+    println!("SSD I/O (PCIe 3.0 x16) bandwidth : {:>8.1} GB/s", 15.4);
+    println!("SearSSD internal bandwidth       : {:>8.1} GB/s", internal / 1e9);
+    println!("lift                             : {:>8.1} x", internal / 15.4e9);
+
+    let mut rows = Vec::new();
+    for bench in BenchmarkId::ALL {
+        let w = build_workload(bench, AnnsAlgorithm::Hnsw, 2048);
+        let cpu_r = cpu.report(&w.scenario());
+        let (nds, _) = w.ndsearch_platform_report();
+        rows.push(vec![
+            bench.to_string(),
+            f(cpu_r.qps() / 1e3, 2),
+            f(nds.qps() / 1e3, 2),
+            f(nds.qps() / cpu_r.qps(), 1),
+        ]);
+    }
+    print_table(
+        "Fig. 2b: HNSW speedup of NDSEARCH over CPU",
+        &["dataset", "CPU kQPS", "NDSEARCH kQPS", "speedup x"],
+        &rows,
+    );
+    println!("Paper reference: up to 31.7x on billion-scale datasets.");
+}

@@ -1,0 +1,58 @@
+//! Fig. 6 (§IV-B) — Storage/fetch overhead of the legacy interleaved
+//! layout (vector + R zero-padded neighbor ids) versus LUNCSR.
+//! Paper shape: ≥46.9 % of every page read is wasted neighbor-id bytes.
+
+use ndsearch_bench::{f, print_table};
+use ndsearch_graph::legacy::LegacyLayout;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, layout) in [
+        ("paper example (128 B vec, 4 KiB page)", LegacyLayout::paper_example()),
+        (
+            "sift-style (128 B vec, 16 KiB page)",
+            LegacyLayout {
+                page_bytes: 16 * 1024,
+                ..LegacyLayout::paper_example()
+            },
+        ),
+        (
+            "deep-style (384 B vec, 16 KiB page)",
+            LegacyLayout {
+                vector_bytes: 384,
+                page_bytes: 16 * 1024,
+                ..LegacyLayout::paper_example()
+            },
+        ),
+        (
+            "glove-style (400 B vec, 16 KiB page)",
+            LegacyLayout {
+                vector_bytes: 400,
+                page_bytes: 16 * 1024,
+                ..LegacyLayout::paper_example()
+            },
+        ),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            layout.slice_bytes().to_string(),
+            layout.slices_per_page().to_string(),
+            f(100.0 * layout.wasted_fraction(), 1),
+            f(100.0 * layout.neighbor_fraction(), 1),
+            f(100.0 * layout.padding_waste(24.0), 1),
+        ]);
+    }
+    print_table(
+        "Fig. 6: legacy interleaved layout overhead per page read",
+        &[
+            "configuration",
+            "slice B",
+            "slices/page",
+            "wasted nbr %",
+            "nbr area %",
+            "pad waste % (deg 24)",
+        ],
+        &rows,
+    );
+    println!("\nPaper reference: at least 46.9% storage overhead per page access.");
+}

@@ -1,0 +1,41 @@
+//! Fig. 13 — The headline comparison: throughput (QPS) and speedup
+//! normalized to CPU, for HNSW and DiskANN on all five datasets across
+//! CPU, GPU, SmartSSD-only, DS-c, DS-cp and NDSEARCH, batch 2048.
+//!
+//! Paper shapes: NDSEARCH wins everywhere (up to 31.7× over CPU, 14.6×
+//! over GPU, 7.4× over SmartSSD, 2.9× over DS-cp on billion-scale sets;
+//! 5.06× / 2.12× over CPU / GPU on the small memory-resident sets);
+//! DS-cp > DS-c on this workload.
+
+use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_bench::{build_workload, env_usize, f, print_table};
+use ndsearch_vector::synthetic::BenchmarkId;
+
+fn main() {
+    let batch = env_usize("NDS_BATCH", 2048);
+    for algo in [AnnsAlgorithm::Hnsw, AnnsAlgorithm::DiskAnn] {
+        let mut rows = Vec::new();
+        for bench in BenchmarkId::ALL {
+            let w = build_workload(bench, algo, batch);
+            let reports = w.all_platform_reports();
+            let cpu_qps = reports[0].qps();
+            for r in &reports {
+                rows.push(vec![
+                    bench.to_string(),
+                    r.name.clone(),
+                    f(r.qps() / 1e3, 2),
+                    f(r.qps() / cpu_qps, 2),
+                    f(w.recall_at_10, 3),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 13 ({algo}, batch {batch}): throughput & speedup vs CPU"),
+            &["dataset", "platform", "kQPS", "speedup vs CPU", "recall@10"],
+            &rows,
+        );
+    }
+    println!("\nPaper reference: NDSEARCH up to 31.7x/14.6x/7.4x/2.9x over");
+    println!("CPU/GPU/SmartSSD/DS-cp on billion-scale; 5.06x/2.12x over CPU/GPU");
+    println!("on glove-100 & fashion-mnist; DS-cp > DS-c.");
+}

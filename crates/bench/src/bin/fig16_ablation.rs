@@ -1,0 +1,58 @@
+//! Fig. 16 — Ablation ladder on spacev-1b: Bare → re → re+mp → re+mp+da →
+//! re+mp+da+sp, with CPU, GPU and DS-cp reference bars.
+//!
+//! Paper shapes: even Bare beats CPU by >4× (no PCIe transfer, no host
+//! DRAM round trips); without da NDSEARCH can hardly beat DS-cp; the full
+//! stack gains ~4.1× over Bare.
+
+use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_bench::{build_workload, env_usize, f, print_table};
+use ndsearch_baselines::{CpuPlatform, DeepStorePlatform, GpuPlatform, Platform};
+use ndsearch_core::config::SchedulingConfig;
+use ndsearch_vector::synthetic::BenchmarkId;
+
+fn main() {
+    let batch = env_usize("NDS_BATCH", 2048);
+    for algo in [AnnsAlgorithm::Hnsw, AnnsAlgorithm::DiskAnn] {
+        let w = build_workload(BenchmarkId::SpaceV1B, algo, batch);
+        let s = w.scenario();
+        let cpu = CpuPlatform::paper_default().report(&s);
+        let gpu = GpuPlatform::paper_default().report(&s);
+        let dscp = DeepStorePlatform::chip_level().report(&s);
+
+        let mut rows = vec![
+            vec!["CPU".into(), f(cpu.qps() / 1e3, 2), "1.00".into()],
+            vec!["GPU".into(), f(gpu.qps() / 1e3, 2), f(gpu.qps() / cpu.qps(), 2)],
+            vec![
+                "DS-cp".into(),
+                f(dscp.qps() / 1e3, 2),
+                f(dscp.qps() / cpu.qps(), 2),
+            ],
+        ];
+        let mut bare_qps = 0.0;
+        for (label, sched) in SchedulingConfig::ablation_ladder() {
+            let r = w.run_ndsearch(sched);
+            let qps = r.qps();
+            if label == "Bare" {
+                bare_qps = qps;
+            }
+            rows.push(vec![
+                label.to_string(),
+                f(qps / 1e3, 2),
+                f(qps / cpu.qps(), 2),
+            ]);
+        }
+        let full = w.run_ndsearch(SchedulingConfig::full());
+        print_table(
+            &format!("Fig. 16 ({algo} on spacev-1b): ablation"),
+            &["configuration", "kQPS", "speedup vs CPU"],
+            &rows,
+        );
+        println!(
+            "full-stack gain over Bare: {:.2}x",
+            full.qps() / bare_qps.max(1e-9)
+        );
+    }
+    println!("\nPaper reference: Bare > 4x over CPU; w/o da barely beats DS-cp;");
+    println!("all techniques together gain ~4.1x over Bare.");
+}

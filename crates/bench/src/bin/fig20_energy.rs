@@ -1,0 +1,38 @@
+//! Fig. 20 — Energy efficiency (QPS/W) across platforms, both algorithms,
+//! all datasets.
+//!
+//! Paper shapes: NDSEARCH reaches up to 178.68× / 120.87× / 30.06× / 3.48×
+//! higher QPS/W than CPU / GPU / SmartSSD-only / DS-cp — roughly the
+//! speedup ratios multiplied by the wall-plug power ratios.
+
+use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_bench::{build_workload, env_usize, f, print_table};
+use ndsearch_vector::synthetic::BenchmarkId;
+
+fn main() {
+    let batch = env_usize("NDS_BATCH", 2048);
+    for algo in [AnnsAlgorithm::Hnsw, AnnsAlgorithm::DiskAnn] {
+        let mut rows = Vec::new();
+        for bench in BenchmarkId::ALL {
+            let w = build_workload(bench, algo, batch);
+            let reports = w.all_platform_reports();
+            let nds_eff = reports.last().expect("ndsearch present").qps_per_watt();
+            for r in &reports {
+                rows.push(vec![
+                    bench.to_string(),
+                    r.name.clone(),
+                    f(r.power_w, 1),
+                    f(r.qps_per_watt(), 2),
+                    f(nds_eff / r.qps_per_watt().max(1e-12), 1),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 20 ({algo}): energy efficiency"),
+            &["dataset", "platform", "power W", "QPS/W", "NDSEARCH advantage x"],
+            &rows,
+        );
+    }
+    println!("\nPaper reference: up to 178.68x / 120.87x / 30.06x / 3.48x higher");
+    println!("QPS/W than CPU / GPU / SmartSSD-only / DS-cp.");
+}

@@ -1,0 +1,49 @@
+//! Fig. 21 — HCNNG and TOGG on sift-1b across CPU, CPU-T (terabyte DRAM),
+//! SmartSSD, DS-cp and NDSEARCH.
+//!
+//! Paper shapes: NDSEARCH still wins on these direction-optimized
+//! algorithms (irregular data access still dominates); CPU-T gains ~5.3×
+//! over the memory-limited CPU but cannot beat the in-storage designs.
+
+use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_bench::{build_workload, env_usize, f, print_table};
+use ndsearch_baselines::{
+    CpuPlatform, DeepStorePlatform, Platform, SmartSsdPlatform,
+};
+use ndsearch_vector::synthetic::BenchmarkId;
+
+fn main() {
+    let batch = env_usize("NDS_BATCH", 2048);
+    for algo in [AnnsAlgorithm::Hcnng, AnnsAlgorithm::Togg] {
+        let w = build_workload(BenchmarkId::Sift1B, algo, batch);
+        let s = w.scenario();
+        let cpu = CpuPlatform::paper_default().report(&s);
+        let cpu_t = CpuPlatform::terabyte_dram().report(&s);
+        let smart = SmartSsdPlatform::paper_default().report(&s);
+        let dscp = DeepStorePlatform::chip_level().report(&s);
+        let (nds, nds_pr) = w.ndsearch_platform_report();
+        let mut rows = Vec::new();
+        for (name, qps) in [
+            ("CPU", cpu.qps()),
+            ("CPU-T", cpu_t.qps()),
+            ("SmartSSD", smart.qps()),
+            ("DS-cp", dscp.qps()),
+            ("NDSEARCH", nds.qps()),
+        ] {
+            rows.push(vec![
+                name.to_string(),
+                f(qps / 1e3, 2),
+                f(qps / cpu.qps(), 2),
+            ]);
+        }
+        let _ = nds_pr;
+        print_table(
+            &format!("Fig. 21 ({algo} on sift-1b): throughput & speedup"),
+            &["platform", "kQPS", "speedup vs CPU"],
+            &rows,
+        );
+        println!("recall@10 = {:.3}", w.recall_at_10);
+    }
+    println!("\nPaper reference: NDSEARCH wins; CPU-T ~5.3x over CPU but below");
+    println!("the in-storage accelerators.");
+}

@@ -1,0 +1,64 @@
+//! Table I — Power and area breakdown of SearSSD's customized logic, plus
+//! the power-budget check and the storage-density computation of §VII-B.
+//!
+//! Paper values: 18.82 W / 43.09 mm² total; with the 7.5 W FPGA kernel the
+//! system draws 26.32 W, inside the ~55 W PCIe budget; storage density
+//! drops from 6 Gb/mm² to 5.64 Gb/mm² (~6 %).
+
+use ndsearch_bench::{f, print_table};
+use ndsearch_core::area::AreaModel;
+use ndsearch_core::energy::{searssd_components, PowerModel};
+
+fn main() {
+    let rows: Vec<Vec<String>> = searssd_components()
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.config.to_string(),
+                if c.count == 0 {
+                    "-".into()
+                } else {
+                    c.count.to_string()
+                },
+                f(c.power_w, 2),
+                f(c.area_mm2, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: power and area breakdown of SearSSD",
+        &["component", "config", "num", "power W", "area mm^2"],
+        &rows,
+    );
+    let power = PowerModel::default();
+    let total_p: f64 = searssd_components().iter().map(|c| c.power_w).sum();
+    let total_a: f64 = searssd_components().iter().map(|c| c.area_mm2).sum();
+    println!("SearSSD logic total      : {total_p:.2} W, {total_a:.2} mm^2");
+    println!("FPGA bitonic kernel      : {:.2} W", 7.5);
+    println!("NDSEARCH total           : {:.2} W", power.ndsearch_total_w());
+    println!(
+        "within ~55 W PCIe budget : {}",
+        if power.within_budget() { "yes" } else { "NO" }
+    );
+
+    let area = AreaModel::searssd_default();
+    println!("\n== Storage density (§VII-B) ==");
+    println!("base V-NAND density      : {:.2} Gb/mm^2", area.base_density_gb_per_mm2);
+    println!("effective with SiN logic : {:.2} Gb/mm^2", area.effective_density());
+    println!(
+        "degradation              : {:.1} %",
+        100.0 * area.density_degradation()
+    );
+
+    let mut rows = Vec::new();
+    for (name, mm2) in AreaModel::baseline_areas_mm2() {
+        rows.push(vec![name.to_string(), f(mm2, 1)]);
+    }
+    print_table(
+        "Accelerator logic area comparison",
+        &["design", "area mm^2"],
+        &rows,
+    );
+    println!("\nPaper reference: 18.82 W / 43.09 mm^2; 26.32 W total; 5.64 Gb/mm^2.");
+}

@@ -1,0 +1,220 @@
+//! Shared experiment harness for the figure/table binaries.
+//!
+//! Every `fig*` binary follows the paper's methodology (§VII-A): build the
+//! dataset, construct the graph with the *real* algorithm, run the real
+//! search to record memory traces, then replay the traces on each platform
+//! model. This module centralizes that pipeline plus table printing.
+//!
+//! Scale knobs: the environment variables `NDS_N` (base vectors),
+//! `NDS_BATCH` (queries per batch) and `NDS_K` (top-k) override the
+//! defaults, so the binaries can be run quickly (`NDS_N=2000`) or at
+//! higher fidelity.
+
+use ndsearch_anns::hcnng::{Hcnng, HcnngParams};
+use ndsearch_anns::hnsw::{Hnsw, HnswParams};
+use ndsearch_anns::index::{AnnsAlgorithm, GraphAnnsIndex, SearchParams};
+use ndsearch_anns::togg::{Togg, ToggParams};
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_baselines::{
+    CpuPlatform, DeepStorePlatform, GpuPlatform, Platform, PlatformReport, Scenario,
+    SmartSsdPlatform,
+};
+use ndsearch_core::config::{NdsConfig, SchedulingConfig};
+use ndsearch_core::energy::PowerModel;
+use ndsearch_core::pipeline::Prepared;
+use ndsearch_core::{NdsEngine, NdsReport};
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::recall::{ground_truth, recall_at_k};
+use ndsearch_vector::synthetic::{BenchmarkId, DatasetSpec};
+use ndsearch_vector::DistanceKind;
+
+/// A fully built experiment input: dataset + graph + recorded traces.
+pub struct Workload {
+    /// Which paper benchmark this models.
+    pub benchmark: BenchmarkId,
+    /// Which algorithm built the graph.
+    pub algorithm: AnnsAlgorithm,
+    /// Base vectors.
+    pub base: Dataset,
+    /// Query vectors.
+    pub queries: Dataset,
+    /// The base proximity graph.
+    pub graph: Csr,
+    /// Recorded batch trace.
+    pub trace: BatchTrace,
+    /// Achieved recall@10 against brute force.
+    pub recall_at_10: f64,
+    /// Architectural configuration scaled for this dataset.
+    pub config: NdsConfig,
+}
+
+/// Reads an env-var scale knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Default base-vector count per benchmark (fashion-mnist's 784 dims make
+/// construction expensive, so it runs smaller).
+pub fn default_n(benchmark: BenchmarkId) -> usize {
+    let n = env_usize("NDS_N", 6000);
+    match benchmark {
+        BenchmarkId::FashionMnist => n.min(2500),
+        _ => n,
+    }
+}
+
+/// Builds a workload: dataset → graph → batch search → traces → recall.
+pub fn build_workload(
+    benchmark: BenchmarkId,
+    algorithm: AnnsAlgorithm,
+    batch: usize,
+) -> Workload {
+    let n = default_n(benchmark);
+    let spec = DatasetSpec::for_benchmark(benchmark, n, batch);
+    let (base, queries) = spec.build_pair();
+    let index: Box<dyn GraphAnnsIndex> = match algorithm {
+        AnnsAlgorithm::Hnsw => Box::new(Hnsw::build(&base, HnswParams::default())),
+        AnnsAlgorithm::DiskAnn => Box::new(Vamana::build(&base, VamanaParams::default())),
+        AnnsAlgorithm::Hcnng => Box::new(Hcnng::build(&base, HcnngParams::default())),
+        AnnsAlgorithm::Togg => Box::new(Togg::build(&base, ToggParams::default())),
+        AnnsAlgorithm::BruteForce => {
+            Box::new(ndsearch_anns::bruteforce::BruteForce::new(base.len()))
+        }
+    };
+    let k = env_usize("NDS_K", 10);
+    let params = SearchParams::new(k, (k * 8).max(64), DistanceKind::L2);
+    let out = index.search_batch(&base, &queries, &params);
+    // Recall on a subsample (ground truth is O(n × q)).
+    let sample = queries.len().min(64);
+    let sample_q = Dataset::from_flat(
+        queries.dim(),
+        queries.as_flat()[..sample * queries.dim()].to_vec(),
+    );
+    let gt = ground_truth(&base, &sample_q, k, DistanceKind::L2);
+    let found: Vec<Vec<u32>> = out.id_lists().into_iter().take(sample).collect();
+    let recall = recall_at_k(&gt, &found, k);
+    let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    Workload {
+        benchmark,
+        algorithm,
+        base,
+        queries,
+        graph: index.base_graph().clone(),
+        trace: out.trace,
+        recall_at_10: recall,
+        config,
+    }
+}
+
+impl Workload {
+    /// The scenario view platforms replay.
+    pub fn scenario(&self) -> Scenario<'_> {
+        Scenario {
+            benchmark: self.benchmark,
+            base: &self.base,
+            graph: &self.graph,
+            trace: &self.trace,
+            config: &self.config,
+            k: env_usize("NDS_K", 10),
+        }
+    }
+
+    /// Runs the NDSEARCH engine under a scheduling configuration.
+    pub fn run_ndsearch(&self, scheduling: SchedulingConfig) -> NdsReport {
+        let config = NdsConfig {
+            scheduling,
+            ..self.config.clone()
+        };
+        let prepared = Prepared::stage(&config, &self.graph, &self.base, &self.trace);
+        NdsEngine::new(&config).run(&prepared)
+    }
+
+    /// Runs NDSEARCH with the full scheduling stack and adapts the report
+    /// to the common [`PlatformReport`] shape.
+    pub fn ndsearch_platform_report(&self) -> (NdsReport, PlatformReport) {
+        let r = self.run_ndsearch(SchedulingConfig::full());
+        let power = PowerModel::default();
+        let adapted = PlatformReport {
+            name: "NDSEARCH".to_string(),
+            queries: r.queries,
+            total_ns: r.total_ns,
+            io_ns: r.breakdown.pcie_ns,
+            compute_ns: r.breakdown.nand_read_ns + r.breakdown.compute_ns,
+            sort_ns: r.breakdown.bitonic_ns,
+            io_bytes: r.stats.pcie_bytes,
+            power_w: power.ndsearch_total_w() + power.ssd_device_w,
+        };
+        (r, adapted)
+    }
+
+    /// Replays all baseline platforms plus NDSEARCH, in the paper's order.
+    pub fn all_platform_reports(&self) -> Vec<PlatformReport> {
+        let s = self.scenario();
+        let mut reports = vec![
+            CpuPlatform::paper_default().report(&s),
+            GpuPlatform::paper_default().report(&s),
+            SmartSsdPlatform::paper_default().report(&s),
+            DeepStorePlatform::channel_level().report(&s),
+            DeepStorePlatform::chip_level().report(&s),
+        ];
+        reports.push(self.ndsearch_platform_report().1);
+        reports
+    }
+}
+
+/// Prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with fixed precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_replays() {
+        std::env::set_var("NDS_N", "600");
+        let w = build_workload(BenchmarkId::Sift1B, AnnsAlgorithm::Hnsw, 32);
+        assert!(w.recall_at_10 > 0.7, "recall {}", w.recall_at_10);
+        let reports = w.all_platform_reports();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(reports[5].name, "NDSEARCH");
+        for r in &reports {
+            assert!(r.total_ns > 0, "{} has zero latency", r.name);
+        }
+        std::env::remove_var("NDS_N");
+    }
+}

@@ -1,0 +1,62 @@
+//! NDSEARCH core — the SearSSD near-data ANNS accelerator model.
+//!
+//! This crate is the paper's primary contribution: a hardware/software
+//! co-designed near-data-processing engine that executes the graph-traversal
+//! and distance-computation kernels of ANNS *inside* a modified SSD
+//! (SearSSD) and the bitonic top-k sort on an attached FPGA.
+//!
+//! Architecture (Fig. 5a):
+//!
+//! * [`qpt::QueryPropertyTable`] — per-query search state in SSD DRAM;
+//! * [`vgen::Vgenerator`] — 3-stage OFS/NBR/LUN fetch pipeline producing
+//!   each entry vertex's neighbor + LUN id lists (Fig. 7a);
+//! * [`alloc::Allocator`] — batch-wise dynamic dispatch of (query,
+//!   neighbor) work to LUN-level accelerators and direct physical-address
+//!   generation from LUNCSR (Fig. 7b);
+//! * [`sin`] — SiN engines: LUN-level accelerators with query/vaddr
+//!   queues, multi-plane page loads, per-plane hard-decision LDPC, and MAC
+//!   groups (Fig. 8);
+//! * [`engine::NdsEngine`] — the NDP processing model of Algorithm 1
+//!   (Allocating → Searching → Gathering → Sorting with stage overlap),
+//!   including the speculative searching of §VI-B2 ([`speculative`]);
+//! * [`energy`] / [`area`] — the Table I power/area models and the
+//!   storage-density arithmetic of §VII-B;
+//! * [`pipeline`] — the end-to-end static-scheduling pipeline: reorder →
+//!   place → LUNCSR → relabeled traces;
+//! * [`report::NdsReport`] — latency breakdown (Fig. 17), page/LUN
+//!   statistics (Fig. 4/14/15), throughput and energy results.
+//!
+//! # Example
+//!
+//! ```
+//! use ndsearch_core::config::NdsConfig;
+//! use ndsearch_core::pipeline::Prepared;
+//! use ndsearch_anns::{hnsw::{Hnsw, HnswParams}, index::{GraphAnnsIndex, SearchParams}};
+//! use ndsearch_vector::synthetic::DatasetSpec;
+//!
+//! let (base, queries) = DatasetSpec::sift_scaled(400, 8).build_pair();
+//! let index = Hnsw::build(&base, HnswParams::default());
+//! let out = index.search_batch(&base, &queries, &SearchParams::default());
+//! let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+//! let prepared = Prepared::stage(&config, index.base_graph(), &base, &out.trace);
+//! let report = ndsearch_core::engine::NdsEngine::new(&config).run(&prepared);
+//! assert!(report.total_ns > 0);
+//! ```
+
+pub mod alloc;
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod engine;
+pub mod pipeline;
+pub mod qpt;
+pub mod report;
+pub mod sin;
+pub mod speculative;
+pub mod stream;
+pub mod vgen;
+
+pub use config::{NdsConfig, SchedulingConfig};
+pub use engine::NdsEngine;
+pub use pipeline::Prepared;
+pub use report::{LatencyBreakdown, NdsReport};

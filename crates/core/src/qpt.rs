@@ -1,0 +1,76 @@
+//! Query property table (§IV-C1, dataflow step 1).
+//!
+//! When a batch arrives, the SSD controller creates a table in internal
+//! DRAM holding each query's search status: query id, current entry vertex,
+//! the query's feature vector, and its result list. The engine models the
+//! table's DRAM footprint and the per-iteration update traffic (the
+//! Gathering stage reads computed distances and writes updated properties).
+
+/// Per-query property record sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPropertyTable {
+    /// Number of queries resident.
+    pub queries: usize,
+    /// Feature vector bytes per query.
+    pub vector_bytes: usize,
+    /// Result list entries retained per query (ids + distances).
+    pub result_entries: usize,
+}
+
+impl QueryPropertyTable {
+    /// Creates the table descriptor.
+    pub fn new(queries: usize, vector_bytes: usize, result_entries: usize) -> Self {
+        Self {
+            queries,
+            vector_bytes,
+            result_entries,
+        }
+    }
+
+    /// Bytes of one record: query id (4) + entry vertex (4) + status (4) +
+    /// feature vector + result list (8 B per entry: id + f32 distance).
+    pub fn record_bytes(&self) -> u64 {
+        12 + self.vector_bytes as u64 + 8 * self.result_entries as u64
+    }
+
+    /// Total DRAM footprint of the table.
+    pub fn total_bytes(&self) -> u64 {
+        self.record_bytes() * self.queries as u64
+    }
+
+    /// DRAM bytes touched when the Gathering stage updates `updates`
+    /// queries after `new_distances` fresh distance results arrived:
+    /// a fixed read-modify-write of each query's status/entry (64 B) plus
+    /// insertion traffic per new candidate (16 B read + write).
+    pub fn gather_traffic_bytes(&self, updates: usize, new_distances: u64) -> u64 {
+        64 * updates as u64 + 16 * new_distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_bytes_match_layout() {
+        let q = QueryPropertyTable::new(2048, 512, 64);
+        assert_eq!(q.record_bytes(), 12 + 512 + 8 * 64);
+        assert_eq!(q.total_bytes(), q.record_bytes() * 2048);
+    }
+
+    #[test]
+    fn gather_traffic_scales_with_updates_and_distances() {
+        let q = QueryPropertyTable::new(100, 128, 16);
+        assert_eq!(q.gather_traffic_bytes(0, 0), 0);
+        assert_eq!(q.gather_traffic_bytes(10, 0), 640);
+        assert_eq!(q.gather_traffic_bytes(10, 100), 640 + 1600);
+    }
+
+    #[test]
+    fn paper_scale_fits_internal_dram() {
+        // 2048 queries with 512-byte vectors and 64-entry lists must fit
+        // comfortably in the 4 GB internal DRAM.
+        let q = QueryPropertyTable::new(2048, 512, 64);
+        assert!(q.total_bytes() < 4 * 1024 * 1024 * 1024u64 / 100);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation reports: latency breakdown, statistics, throughput.
+
+use ndsearch_flash::stats::FlashStats;
+use ndsearch_flash::timing::Nanos;
+
+use crate::speculative::SpeculationStats;
+
+/// Where the execution time went (the categories of Fig. 17).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// NAND array sensing on the critical path.
+    pub nand_read_ns: Nanos,
+    /// In-LUN ECC decode (incl. soft-decision fallbacks).
+    pub ecc_ns: Nanos,
+    /// Page-buffer streaming + MAC compute.
+    pub compute_ns: Nanos,
+    /// SSD internal DRAM traffic (LUNCSR fetches, QPT updates).
+    pub dram_ns: Nanos,
+    /// Embedded-core bookkeeping (FTL upkeep, QPT logic).
+    pub embedded_ns: Nanos,
+    /// Non-overlapped Allocating-stage time (dynamic scheduling overhead).
+    pub allocating_ns: Nanos,
+    /// Channel-bus data-out of computed distances.
+    pub bus_ns: Nanos,
+    /// Bitonic sorting on the FPGA.
+    pub bitonic_ns: Nanos,
+    /// PCIe I/O (queries in, result lists to FPGA, top-k out).
+    pub pcie_ns: Nanos,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all buckets.
+    pub fn total_ns(&self) -> Nanos {
+        self.nand_read_ns
+            + self.ecc_ns
+            + self.compute_ns
+            + self.dram_ns
+            + self.embedded_ns
+            + self.allocating_ns
+            + self.bus_ns
+            + self.bitonic_ns
+            + self.pcie_ns
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        self.nand_read_ns += other.nand_read_ns;
+        self.ecc_ns += other.ecc_ns;
+        self.compute_ns += other.compute_ns;
+        self.dram_ns += other.dram_ns;
+        self.embedded_ns += other.embedded_ns;
+        self.allocating_ns += other.allocating_ns;
+        self.bus_ns += other.bus_ns;
+        self.bitonic_ns += other.bitonic_ns;
+        self.pcie_ns += other.pcie_ns;
+    }
+
+    /// `(label, fraction)` rows for the Fig. 17 stacked bar.
+    pub fn fractions(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total_ns().max(1) as f64;
+        vec![
+            ("NAND read", self.nand_read_ns as f64 / total),
+            ("ECC", self.ecc_ns as f64 / total),
+            ("In-LUN compute", self.compute_ns as f64 / total),
+            ("DRAM access", self.dram_ns as f64 / total),
+            ("Embedded cores", self.embedded_ns as f64 / total),
+            ("Allocating", self.allocating_ns as f64 / total),
+            ("Channel bus", self.bus_ns as f64 / total),
+            ("Bitonic (FPGA)", self.bitonic_ns as f64 / total),
+            ("SSD I/O (PCIe)", self.pcie_ns as f64 / total),
+        ]
+    }
+}
+
+/// Full result of simulating one batch on NDSEARCH.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NdsReport {
+    /// Batch size simulated.
+    pub queries: usize,
+    /// Total visited vertices (trace length).
+    pub trace_len: u64,
+    /// End-to-end latency of the batch.
+    pub total_ns: Nanos,
+    /// Where the time went.
+    pub breakdown: LatencyBreakdown,
+    /// Flash access statistics.
+    pub stats: FlashStats,
+    /// Speculative-searching accounting.
+    pub speculation: SpeculationStats,
+    /// Distinct LUNs touched / total LUNs (Fig. 4b).
+    pub lun_coverage: f64,
+    /// Search iterations executed (engine rounds).
+    pub iterations: usize,
+    /// Sub-batches the batch was split into (resource cap, Fig. 19).
+    pub sub_batches: usize,
+    /// Online block-level refreshes performed by the FTL during the run
+    /// (0 unless `refresh_read_threshold` is enabled).
+    pub refreshes: u64,
+}
+
+impl NdsReport {
+    /// Throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.total_ns as f64 / 1e9)
+        }
+    }
+
+    /// Page accesses per visited vertex (the page access ratio of Fig. 14).
+    pub fn page_access_ratio(&self) -> f64 {
+        self.stats.page_access_ratio(self.trace_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_fractions() {
+        let b = LatencyBreakdown {
+            nand_read_ns: 60,
+            dram_ns: 20,
+            pcie_ns: 20,
+            ..LatencyBreakdown::default()
+        };
+        assert_eq!(b.total_ns(), 100);
+        let f = b.fractions();
+        assert!((f[0].1 - 0.6).abs() < 1e-12);
+        let sum: f64 = f.iter().map(|(_, x)| x).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyBreakdown {
+            nand_read_ns: 5,
+            ..LatencyBreakdown::default()
+        };
+        a.merge(&LatencyBreakdown {
+            nand_read_ns: 7,
+            bitonic_ns: 3,
+            ..LatencyBreakdown::default()
+        });
+        assert_eq!(a.nand_read_ns, 12);
+        assert_eq!(a.bitonic_ns, 3);
+    }
+
+    #[test]
+    fn qps_math() {
+        let r = NdsReport {
+            queries: 1000,
+            total_ns: 1_000_000_000,
+            ..NdsReport::default()
+        };
+        assert!((r.qps() - 1000.0).abs() < 1e-9);
+        assert_eq!(NdsReport::default().qps(), 0.0);
+    }
+}

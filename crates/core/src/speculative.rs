@@ -1,0 +1,139 @@
+//! Speculative searching (§VI-B2, Fig. 12).
+//!
+//! The second-order neighbors of the current iteration's entry vertex are
+//! the likely candidates of the *next* iteration: once the Allocating stage
+//! of iteration *i* finishes, the Pref Unit fetches the entry's first-order
+//! neighbor lists and selects second-order neighbors — preferring those
+//! with the most connections to the first-order set — and the speculative
+//! Searching stage computes their distances while iteration *i*'s
+//! Gathering runs. If the next iteration's candidate set overlaps the
+//! prefetched set, those distances are already available and the next
+//! Searching stage shrinks. Mispredicted prefetches cost extra page
+//! accesses (visible in Fig. 15) but their latency is fully overlapped.
+
+use std::collections::HashMap;
+
+use ndsearch_graph::luncsr::LunCsr;
+use ndsearch_vector::VectorId;
+
+/// Selects up to `budget` second-order neighbors of `entry`, ranked by how
+/// many connections they have to the first-order neighbor set (ties by id
+/// for determinism). First-order neighbors, `entry` itself, and vertices
+/// the query has already visited (`seen`, tracked in the query property
+/// table) are excluded — an already-computed vertex is never a next-round
+/// candidate, so prefetching it would be a guaranteed miss.
+pub fn select_prefetch(
+    luncsr: &LunCsr,
+    entry: VectorId,
+    budget: usize,
+    seen: &std::collections::HashSet<VectorId>,
+) -> Vec<VectorId> {
+    if budget == 0 {
+        return Vec::new();
+    }
+    let first: Vec<VectorId> = luncsr.neighbors(entry).to_vec();
+    let first_set: std::collections::HashSet<VectorId> = first.iter().copied().collect();
+    let mut connections: HashMap<VectorId, u32> = HashMap::new();
+    for &n in &first {
+        for &m in luncsr.neighbors(n) {
+            if m != entry && !first_set.contains(&m) && !seen.contains(&m) {
+                *connections.entry(m).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(VectorId, u32)> = connections.into_iter().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(budget);
+    ranked.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Accounting for speculative searching across a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Prefetched vertices whose distances were used by the next iteration.
+    pub hits: u64,
+    /// Prefetched vertices that were never needed.
+    pub misses: u64,
+}
+
+impl SpeculationStats {
+    /// Fraction of prefetches that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_flash::geometry::FlashGeometry;
+    use ndsearch_graph::csr::Csr;
+    use ndsearch_graph::mapping::{PlacementPolicy, VertexMapping};
+
+    fn luncsr_from(lists: Vec<Vec<VectorId>>) -> LunCsr {
+        let n = lists.len();
+        let csr = Csr::from_adjacency(&lists).unwrap();
+        let mapping = VertexMapping::place(
+            FlashGeometry::tiny(),
+            n,
+            128,
+            PlacementPolicy::MultiPlaneAware,
+        );
+        LunCsr::new(csr, mapping)
+    }
+
+    fn no_seen() -> std::collections::HashSet<VectorId> {
+        std::collections::HashSet::new()
+    }
+
+    #[test]
+    fn prefers_well_connected_second_order() {
+        // 0 → {1, 2}; both 1 and 2 → 3; only 1 → 4. Vertex 3 has two
+        // connections to the first-order set, 4 has one.
+        let lc = luncsr_from(vec![
+            vec![1, 2],
+            vec![3, 4],
+            vec![3],
+            vec![],
+            vec![],
+        ]);
+        let picks = select_prefetch(&lc, 0, 1, &no_seen());
+        assert_eq!(picks, vec![3]);
+        let picks = select_prefetch(&lc, 0, 10, &no_seen());
+        assert_eq!(picks, vec![3, 4]);
+    }
+
+    #[test]
+    fn excludes_entry_and_first_order() {
+        // 0 → 1 → 0 and 1 → 2; 2 is the only valid prefetch.
+        let lc = luncsr_from(vec![vec![1], vec![0, 2], vec![]]);
+        let picks = select_prefetch(&lc, 0, 10, &no_seen());
+        assert_eq!(picks, vec![2]);
+    }
+
+    #[test]
+    fn excludes_already_visited() {
+        let lc = luncsr_from(vec![vec![1, 2], vec![3, 4], vec![3], vec![], vec![]]);
+        let seen: std::collections::HashSet<VectorId> = [3u32].into_iter().collect();
+        let picks = select_prefetch(&lc, 0, 10, &seen);
+        assert_eq!(picks, vec![4], "visited vertex 3 must be skipped");
+    }
+
+    #[test]
+    fn budget_zero_is_empty() {
+        let lc = luncsr_from(vec![vec![1], vec![0]]);
+        assert!(select_prefetch(&lc, 0, 0, &no_seen()).is_empty());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = SpeculationStats { hits: 3, misses: 9 };
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(SpeculationStats::default().hit_rate(), 0.0);
+    }
+}

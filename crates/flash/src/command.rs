@@ -1,0 +1,297 @@
+//! NAND command model, including the paper's `<SearchPage>` extension.
+//!
+//! Fig. 9(a) contrasts the stock multi-LUN *read* workflow with the modified
+//! multi-LUN *search* workflow: `<ReadPage>` becomes `<SearchPage>` and the
+//! `<ReadStatusEnhanced>` / `<ChangeReadColumn>` pair targets the small
+//! accelerator *output buffer* instead of the 16 KiB page buffer, so only
+//! computed distances — not raw feature vectors — cross the channel bus.
+//!
+//! Fig. 9(b) gives the `<SearchPage>` operand layout: 2-bit distance kind,
+//! 26-bit row address, 3-bit feature-vector dimension code, 4-bit precision
+//! code, 1-bit `pageLocBit` flagging that two or more queries' candidates
+//! live on the selected page.
+
+use crate::geometry::{FlashGeometry, LunId, PhysAddr};
+use crate::timing::{FlashTiming, Nanos};
+use ndsearch_vector::DistanceKind;
+
+/// Operands of the `<SearchPage>` instruction (Fig. 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchPageInstr {
+    /// Which distance the MAC group computes (2 bits).
+    pub distance: DistanceKind,
+    /// Row address: LUN ‖ plane ‖ block ‖ page (26 bits).
+    pub row_address: u64,
+    /// Feature-vector dimension code (3 bits; see [`encode_dim`]).
+    pub fv_dim_code: u8,
+    /// Feature-vector precision code (4 bits; bits per element).
+    pub fv_prec_code: u8,
+    /// Set when ≥2 queries' candidates sit on the selected page, enabling
+    /// page-buffer reuse (1 bit).
+    pub page_loc_bit: bool,
+}
+
+/// Encodes a vector dimensionality into the 3-bit `fv_dim` field.
+/// Code `i` means `2^(4+i)` elements rounded up (16..2048); the paper's
+/// benchmarks (96..784 dims) all fit.
+pub fn encode_dim(dim: usize) -> u8 {
+    let mut code = 0u8;
+    while code < 7 && (16usize << code) < dim {
+        code += 1;
+    }
+    code
+}
+
+/// Decodes the 3-bit `fv_dim` code back to the padded element count.
+pub fn decode_dim(code: u8) -> usize {
+    16usize << code.min(7)
+}
+
+impl SearchPageInstr {
+    /// Builds the instruction for a physical address.
+    pub fn new(
+        geom: &FlashGeometry,
+        addr: PhysAddr,
+        distance: DistanceKind,
+        dim: usize,
+        element_bits: u8,
+        page_loc_bit: bool,
+    ) -> Self {
+        Self {
+            distance,
+            row_address: addr.row_address(geom),
+            fv_dim_code: encode_dim(dim),
+            fv_prec_code: element_bits.min(0xF),
+            page_loc_bit,
+        }
+    }
+
+    /// Packs the instruction operands into a word, mirroring the bit layout
+    /// of Fig. 9(b): `[distance:2][row:26][dim:3][prec:4][loc:1]` = 36 bits.
+    pub fn pack(&self) -> u64 {
+        let mut w = u64::from(self.distance.encode());
+        w = (w << 26) | (self.row_address & ((1 << 26) - 1));
+        w = (w << 3) | u64::from(self.fv_dim_code & 0b111);
+        w = (w << 4) | u64::from(self.fv_prec_code & 0xF);
+        (w << 1) | u64::from(self.page_loc_bit)
+    }
+
+    /// Unpacks a word produced by [`SearchPageInstr::pack`].
+    ///
+    /// Returns `None` if the distance field holds the reserved encoding.
+    pub fn unpack(w: u64) -> Option<Self> {
+        let page_loc_bit = (w & 1) != 0;
+        let fv_prec_code = ((w >> 1) & 0xF) as u8;
+        let fv_dim_code = ((w >> 5) & 0b111) as u8;
+        let row_address = (w >> 8) & ((1 << 26) - 1);
+        let distance = DistanceKind::decode(((w >> 34) & 0b11) as u8)?;
+        Some(Self {
+            distance,
+            row_address,
+            fv_dim_code,
+            fv_prec_code,
+            page_loc_bit,
+        })
+    }
+}
+
+/// One NAND command in a (multi-LUN) sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NandCommand {
+    /// Stock page read: array → page buffer, then data out over the bus.
+    ReadPage { lun: LunId },
+    /// Modified search: array → page buffer → in-LUN MAC group.
+    SearchPage { lun: LunId, instr_packed: u64 },
+    /// Selects whose buffer the next column change / data-out targets.
+    ReadStatusEnhanced { lun: LunId },
+    /// Moves the column pointer within the selected buffer.
+    ChangeReadColumn { lun: LunId },
+    /// Data-out phase transferring `bytes` over the shared channel bus.
+    DataOut { lun: LunId, bytes: u32 },
+}
+
+impl NandCommand {
+    /// The LUN this command addresses.
+    pub fn lun(&self) -> LunId {
+        match *self {
+            NandCommand::ReadPage { lun }
+            | NandCommand::SearchPage { lun, .. }
+            | NandCommand::ReadStatusEnhanced { lun }
+            | NandCommand::ChangeReadColumn { lun }
+            | NandCommand::DataOut { lun, .. } => lun,
+        }
+    }
+}
+
+/// Which flavour of multi-LUN operation a sequence implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiLunOp {
+    /// Stock multi-LUN read (left of Fig. 9a): full pages cross the bus.
+    Read,
+    /// Modified multi-LUN search (right of Fig. 9a): only the output
+    /// buffer (computed distances) crosses the bus.
+    Search,
+}
+
+/// Builds the 8-step command sequence of Fig. 9(a) for a set of LUNs on the
+/// same channel. For `Read`, each data-out moves a whole page; for
+/// `Search`, each data-out moves `result_bytes_per_lun`.
+pub fn multi_lun_sequence(
+    op: MultiLunOp,
+    luns: &[LunId],
+    geom: &FlashGeometry,
+    result_bytes_per_lun: u32,
+) -> Vec<NandCommand> {
+    let mut seq = Vec::with_capacity(luns.len() * 4);
+    // Steps 1..n: issue the page op to every LUN (they sense in parallel).
+    for &lun in luns {
+        match op {
+            MultiLunOp::Read => seq.push(NandCommand::ReadPage { lun }),
+            MultiLunOp::Search => seq.push(NandCommand::SearchPage {
+                lun,
+                instr_packed: 0,
+            }),
+        }
+    }
+    // Then per LUN: select buffer, set column, stream data out.
+    for &lun in luns {
+        seq.push(NandCommand::ReadStatusEnhanced { lun });
+        seq.push(NandCommand::ChangeReadColumn { lun });
+        let bytes = match op {
+            MultiLunOp::Read => geom.page_bytes,
+            MultiLunOp::Search => result_bytes_per_lun,
+        };
+        seq.push(NandCommand::DataOut { lun, bytes });
+    }
+    seq
+}
+
+/// Computes the latency of a multi-LUN sequence on one channel.
+///
+/// The page sense (tR) of all LUNs overlaps; command issue and data-out
+/// serialize on the shared channel bus (§III's argument for why chip-level
+/// accelerators under-utilize parallelism).
+pub fn sequence_latency_ns(
+    seq: &[NandCommand],
+    timing: &FlashTiming,
+    op: MultiLunOp,
+) -> Nanos {
+    let mut bus_busy: Nanos = 0;
+    let mut sense: Nanos = 0;
+    for cmd in seq {
+        match cmd {
+            NandCommand::ReadPage { .. } => {
+                bus_busy += timing.t_command_ns;
+                sense = timing.t_read_page_ns; // parallel across LUNs
+            }
+            NandCommand::SearchPage { .. } => {
+                bus_busy += timing.t_command_ns;
+                sense = timing.t_read_page_ns;
+            }
+            NandCommand::ReadStatusEnhanced { .. } | NandCommand::ChangeReadColumn { .. } => {
+                bus_busy += timing.t_command_ns;
+            }
+            NandCommand::DataOut { bytes, .. } => {
+                bus_busy += timing.channel_transfer_ns(u64::from(*bytes));
+            }
+        }
+    }
+    // Search sequences additionally stream the page buffer through the MAC
+    // group in-die, which overlaps with other LUNs' data-out; reads must
+    // wait for sense before any data-out, so total = sense + bus activity.
+    let _ = op;
+    sense + bus_busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_codes_cover_paper_benchmarks() {
+        assert_eq!(decode_dim(encode_dim(96)), 128);
+        assert_eq!(decode_dim(encode_dim(100)), 128);
+        assert_eq!(decode_dim(encode_dim(128)), 128);
+        assert_eq!(decode_dim(encode_dim(784)), 1024);
+        assert_eq!(decode_dim(encode_dim(16)), 16);
+    }
+
+    #[test]
+    fn search_page_pack_round_trips() {
+        let geom = FlashGeometry::searssd_default();
+        let addr = PhysAddr::checked(&geom, 200, 1, 300, 77, 0).unwrap();
+        let instr = SearchPageInstr::new(&geom, addr, DistanceKind::Angular, 128, 8, true);
+        let unpacked = SearchPageInstr::unpack(instr.pack()).unwrap();
+        assert_eq!(unpacked, instr);
+    }
+
+    #[test]
+    fn pack_fits_36_bits() {
+        let geom = FlashGeometry::searssd_default();
+        let addr = PhysAddr::checked(
+            &geom,
+            geom.total_luns() - 1,
+            1,
+            geom.blocks_per_plane - 1,
+            geom.pages_per_block - 1,
+            0,
+        )
+        .unwrap();
+        let instr = SearchPageInstr::new(&geom, addr, DistanceKind::InnerProduct, 784, 8, false);
+        assert!(instr.pack() < (1u64 << 36));
+    }
+
+    #[test]
+    fn sequences_follow_fig9_shape() {
+        let geom = FlashGeometry::tiny();
+        let seq = multi_lun_sequence(MultiLunOp::Search, &[0, 1], &geom, 64);
+        // 2 SearchPage + 2 × (status, column, data-out) = 8 steps.
+        assert_eq!(seq.len(), 8);
+        assert!(matches!(seq[0], NandCommand::SearchPage { lun: 0, .. }));
+        assert!(matches!(seq[1], NandCommand::SearchPage { lun: 1, .. }));
+        assert!(matches!(seq[2], NandCommand::ReadStatusEnhanced { lun: 0 }));
+        assert!(matches!(seq[7], NandCommand::DataOut { lun: 1, bytes: 64 }));
+    }
+
+    #[test]
+    fn search_moves_far_fewer_bus_bytes_than_read() {
+        let geom = FlashGeometry::searssd_default();
+        let timing = FlashTiming::default();
+        let luns = [0, 1];
+        let read = multi_lun_sequence(MultiLunOp::Read, &luns, &geom, 0);
+        let search = multi_lun_sequence(MultiLunOp::Search, &luns, &geom, 128);
+        let t_read = sequence_latency_ns(&read, &timing, MultiLunOp::Read);
+        let t_search = sequence_latency_ns(&search, &timing, MultiLunOp::Search);
+        // The sense time tR dominates both; the difference is the bus time.
+        let bus_read = t_read - timing.t_read_page_ns;
+        let bus_search = t_search - timing.t_read_page_ns;
+        assert!(
+            bus_search < bus_read / 10,
+            "search bus {bus_search} ns should be far below read bus {bus_read} ns"
+        );
+    }
+
+    #[test]
+    fn sense_overlaps_across_luns() {
+        let geom = FlashGeometry::searssd_default();
+        let timing = FlashTiming::default();
+        let one = sequence_latency_ns(
+            &multi_lun_sequence(MultiLunOp::Search, &[0], &geom, 64),
+            &timing,
+            MultiLunOp::Search,
+        );
+        let four = sequence_latency_ns(
+            &multi_lun_sequence(MultiLunOp::Search, &[0, 1, 2, 3], &geom, 64),
+            &timing,
+            MultiLunOp::Search,
+        );
+        // Four LUNs must cost much less than 4× one LUN (sense overlaps).
+        assert!(four < 2 * one, "one = {one}, four = {four}");
+    }
+
+    #[test]
+    fn command_lun_accessor() {
+        assert_eq!(NandCommand::ReadPage { lun: 5 }.lun(), 5);
+        assert_eq!(NandCommand::DataOut { lun: 9, bytes: 1 }.lun(), 9);
+    }
+}

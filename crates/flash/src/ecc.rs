@@ -1,0 +1,206 @@
+//! LDPC error correction model and fault injection (Fig. 18).
+//!
+//! §IV-C5: feature vectors must be corrected *before* entering the MAC
+//! group, so each plane gets a hard-decision LDPC decoder between the page
+//! buffer and the MACs. Soft-decision decoding stays on the FTL (embedded
+//! cores) and is invoked only when hard decision fails, pausing the search
+//! iteration and costing ~10 µs extra.
+//!
+//! §VII-B ("ECC and endurance"): raw bit error rates are generated per
+//! plane following measured BER distributions with mean 1e-6, and
+//! hard-decision failure probabilities of {1, 5, 10, 30} % are injected to
+//! evaluate worst-case slowdown (1.23×–1.66× at 30 %).
+
+use crate::geometry::{FlashGeometry, PlaneId};
+use crate::timing::Nanos;
+use ndsearch_vector::rng::Pcg32;
+
+/// ECC model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccConfig {
+    /// Mean raw bit error rate across planes (paper default 1e-6).
+    pub mean_raw_ber: f64,
+    /// Spread of the per-plane lognormal BER distribution (sigma of ln BER).
+    pub ber_sigma: f64,
+    /// Probability that the in-SiN hard-decision decode of a page fails and
+    /// must fall back to soft decision on the FTL (paper default 1 %).
+    pub hard_decision_failure_prob: f64,
+    /// Latency of in-plane hard-decision decode (pipelined with the page
+    /// buffer stream; small).
+    pub t_hard_decode_ns: Nanos,
+    /// Extra latency of a soft-decision decode on the FTL (paper: ~10 µs),
+    /// which also pauses the search iteration on that LUN.
+    pub t_soft_decode_ns: Nanos,
+    /// RNG seed for plane BERs and failure injection.
+    pub seed: u64,
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        Self {
+            mean_raw_ber: 1e-6,
+            ber_sigma: 0.6,
+            hard_decision_failure_prob: 0.01,
+            t_hard_decode_ns: 500,
+            t_soft_decode_ns: 10_000,
+            seed: 0xECC,
+        }
+    }
+}
+
+impl EccConfig {
+    /// The paper's worst-case scenarios sweep (Fig. 18b): hard-decision
+    /// failure probabilities of 30 %, 10 %, 5 % and 1 %.
+    pub fn failure_sweep() -> [f64; 4] {
+        [0.30, 0.10, 0.05, 0.01]
+    }
+}
+
+/// Per-plane BER state plus deterministic fault injection.
+#[derive(Debug, Clone)]
+pub struct EccEngine {
+    config: EccConfig,
+    plane_ber: Vec<f64>,
+    rng: Pcg32,
+    hard_failures: u64,
+    decodes: u64,
+}
+
+impl EccEngine {
+    /// Builds the engine, sampling one raw BER per plane from a lognormal
+    /// centred (in log space) on `mean_raw_ber`.
+    pub fn new(geom: &FlashGeometry, config: EccConfig) -> Self {
+        let mut rng = Pcg32::seed_from_u64(config.seed);
+        let mu = config.mean_raw_ber.ln();
+        let plane_ber = (0..geom.total_planes())
+            .map(|_| (mu + rng.next_gaussian() * config.ber_sigma).exp())
+            .collect();
+        Self {
+            config,
+            plane_ber,
+            rng,
+            hard_failures: 0,
+            decodes: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EccConfig {
+        &self.config
+    }
+
+    /// Raw BER of a plane.
+    ///
+    /// # Panics
+    /// Panics if the plane index is out of range.
+    pub fn plane_raw_ber(&self, plane: PlaneId) -> f64 {
+        self.plane_ber[plane as usize]
+    }
+
+    /// All plane BERs (for the Fig. 18(a) distribution plot).
+    pub fn plane_bers(&self) -> &[f64] {
+        &self.plane_ber
+    }
+
+    /// Simulates decoding one page read on `plane`. Returns the added ECC
+    /// latency: hard decode always; plus a soft-decision invocation when
+    /// the injected fault fires.
+    pub fn decode_page(&mut self, _plane: PlaneId) -> Nanos {
+        self.decodes += 1;
+        if self.rng.chance(self.config.hard_decision_failure_prob) {
+            self.hard_failures += 1;
+            self.config.t_hard_decode_ns + self.config.t_soft_decode_ns
+        } else {
+            self.config.t_hard_decode_ns
+        }
+    }
+
+    /// Number of pages decoded so far.
+    pub fn decode_count(&self) -> u64 {
+        self.decodes
+    }
+
+    /// Number of hard-decision failures injected so far.
+    pub fn hard_failure_count(&self) -> u64 {
+        self.hard_failures
+    }
+
+    /// Observed failure ratio.
+    pub fn observed_failure_ratio(&self) -> f64 {
+        if self.decodes == 0 {
+            0.0
+        } else {
+            self.hard_failures as f64 / self.decodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FlashGeometry;
+
+    #[test]
+    fn plane_bers_center_on_mean() {
+        let geom = FlashGeometry::searssd_default();
+        let engine = EccEngine::new(&geom, EccConfig::default());
+        let bers = engine.plane_bers();
+        assert_eq!(bers.len(), 512);
+        let log_mean =
+            bers.iter().map(|b| b.ln()).sum::<f64>() / bers.len() as f64;
+        let target = 1e-6f64.ln();
+        assert!((log_mean - target).abs() < 0.15, "log mean {log_mean}");
+        // There is spread (the Fig. 18a histogram is not a spike).
+        let min = bers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bers.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 3.0, "min {min}, max {max}");
+    }
+
+    #[test]
+    fn failure_injection_tracks_probability() {
+        let geom = FlashGeometry::tiny();
+        let mut cfg = EccConfig {
+            hard_decision_failure_prob: 0.30,
+            ..EccConfig::default()
+        };
+        cfg.seed = 7;
+        let mut engine = EccEngine::new(&geom, cfg);
+        for i in 0..20_000u32 {
+            engine.decode_page(i % geom.total_planes());
+        }
+        let p = engine.observed_failure_ratio();
+        assert!((p - 0.30).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn soft_decode_costs_more() {
+        let geom = FlashGeometry::tiny();
+        // Force failures.
+        let cfg = EccConfig {
+            hard_decision_failure_prob: 1.0,
+            ..EccConfig::default()
+        };
+        let mut always = EccEngine::new(&geom, cfg);
+        let cfg0 = EccConfig {
+            hard_decision_failure_prob: 0.0,
+            ..EccConfig::default()
+        };
+        let mut never = EccEngine::new(&geom, cfg0);
+        assert!(always.decode_page(0) > never.decode_page(0) + 5_000);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let geom = FlashGeometry::tiny();
+        let mk = || {
+            let mut e = EccEngine::new(&geom, EccConfig::default());
+            (0..100).map(|_| e.decode_page(0)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn sweep_matches_paper_points() {
+        assert_eq!(EccConfig::failure_sweep(), [0.30, 0.10, 0.05, 0.01]);
+    }
+}

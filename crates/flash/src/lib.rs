@@ -1,0 +1,51 @@
+//! Trace-driven NAND flash / SSD simulator for the NDSEARCH reproduction.
+//!
+//! The paper evaluates SearSSD with an in-house simulator built on SSD-Sim:
+//! a memory-trace-driven, cycle-level model of a modern SSD. This crate is
+//! the from-scratch Rust equivalent. It models:
+//!
+//! * the physical hierarchy — channels → chips → LUNs → planes → blocks →
+//!   pages ([`geometry::FlashGeometry`]) with ONFI-style row/column
+//!   addressing ([`geometry::PhysAddr`]);
+//! * the command set, including the paper's modified `<SearchPage>`
+//!   instruction and the multi-LUN read/search workflows of Fig. 9
+//!   ([`command`]);
+//! * timing ([`timing::FlashTiming`]) — page sense time, channel bus
+//!   transfer, the ~30 µs page-buffer→external-accelerator penalty that
+//!   motivates in-LUN compute, and PCIe links;
+//! * the flash translation layer with *block-level refresh confined within
+//!   a plane* (§II-B2 / §VI-A2), emitting relocation events that the
+//!   LUNCSR format consumes ([`ftl::Ftl`]);
+//! * LDPC error correction with per-plane raw-BER distribution, in-SiN
+//!   hard-decision decoding and FTL soft-decision fallback, plus fault
+//!   injection (Fig. 18; [`ecc`]).
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ndsearch_flash::{FlashGeometry, FlashTiming};
+//!
+//! let geom = FlashGeometry::searssd_default();
+//! assert_eq!(geom.total_luns(), 256);
+//! assert_eq!(geom.total_capacity_bytes(), 512 << 30);
+//! let timing = FlashTiming::default();
+//! assert!(timing.internal_bandwidth_bytes_per_s(&geom) > 500e9);
+//! ```
+
+pub mod command;
+pub mod ecc;
+pub mod ftl;
+pub mod geometry;
+pub mod stats;
+pub mod timing;
+pub mod wear;
+
+pub use command::{MultiLunOp, NandCommand, SearchPageInstr};
+pub use ecc::{EccConfig, EccEngine};
+pub use ftl::{Ftl, RefreshEvent};
+pub use geometry::{FlashGeometry, LunId, PhysAddr, PlaneId};
+pub use stats::FlashStats;
+pub use timing::{FlashTiming, PcieLink};
+pub use wear::WearModel;

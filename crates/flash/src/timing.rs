@@ -1,0 +1,188 @@
+//! Latency and bandwidth parameters.
+//!
+//! All latencies are in nanoseconds (`u64`), matching the event-driven
+//! engine's clock. Defaults are calibrated to the paper's platform: a
+//! Samsung 983 DCT-class V-NAND device, ONFI-4-class channel buses, an
+//! 800 MHz accelerator clock (§VII-A), a ~30 µs penalty for moving a page
+//! buffer out of the NAND die to an external accelerator (§III), and a
+//! PCIe 3.0 ×16 host link with 15.4 GB/s peak (§I).
+
+use crate::geometry::FlashGeometry;
+
+/// Nanoseconds, the engine-wide time unit.
+pub type Nanos = u64;
+
+/// NAND / SSD timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashTiming {
+    /// Page sense time tR: NAND array → plane page buffer.
+    pub t_read_page_ns: Nanos,
+    /// Channel bus bandwidth in bytes/second (shared by the chips, thus the
+    /// LUNs, of one channel).
+    pub channel_bus_bytes_per_s: f64,
+    /// Extra latency to move a page buffer to an accelerator *outside* the
+    /// NAND flash chip (DeepStore-style chip/channel accelerators pay this;
+    /// §III measures ~30 µs).
+    pub t_buffer_to_external_ns: Nanos,
+    /// Time for an in-LUN accelerator to stream one byte out of the page
+    /// buffer (sets the internal bandwidth of Fig. 2b).
+    pub page_buffer_read_ns_per_byte: f64,
+    /// Command issue/decode overhead per NAND command.
+    pub t_command_ns: Nanos,
+    /// Accelerator (MAC / Vgen / Alloc logic) clock frequency in Hz.
+    pub accel_clock_hz: f64,
+    /// SSD-internal DRAM random access latency (per 64 B line).
+    pub t_dram_access_ns: Nanos,
+    /// SSD-internal DRAM bandwidth, bytes/second.
+    pub dram_bytes_per_s: f64,
+    /// Embedded-core time to process one query-iteration bookkeeping step.
+    pub t_embedded_op_ns: Nanos,
+}
+
+impl FlashTiming {
+    /// Internal bandwidth if every plane's page buffer streams
+    /// simultaneously (the "roofline lifting" of Fig. 2b; the paper quotes
+    /// 819.2 GB/s for the default geometry).
+    pub fn internal_bandwidth_bytes_per_s(&self, geom: &FlashGeometry) -> f64 {
+        f64::from(geom.total_planes()) / self.page_buffer_read_ns_per_byte * 1e9
+    }
+
+    /// Time to stream `bytes` from a page buffer into the in-LUN
+    /// accelerator.
+    pub fn page_buffer_stream_ns(&self, bytes: u64) -> Nanos {
+        (bytes as f64 * self.page_buffer_read_ns_per_byte).ceil() as Nanos
+    }
+
+    /// Time to move `bytes` over one channel bus.
+    pub fn channel_transfer_ns(&self, bytes: u64) -> Nanos {
+        (bytes as f64 / self.channel_bus_bytes_per_s * 1e9).ceil() as Nanos
+    }
+
+    /// Cycles → nanoseconds at the accelerator clock.
+    pub fn accel_cycles_ns(&self, cycles: u64) -> Nanos {
+        (cycles as f64 / self.accel_clock_hz * 1e9).ceil() as Nanos
+    }
+
+    /// Time to move `bytes` through internal DRAM.
+    pub fn dram_transfer_ns(&self, bytes: u64) -> Nanos {
+        (bytes as f64 / self.dram_bytes_per_s * 1e9).ceil() as Nanos
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        Self {
+            // V-NAND MLC page sense.
+            t_read_page_ns: 45_000,
+            // ONFI-4-class channel: 800 MB/s.
+            channel_bus_bytes_per_s: 800e6,
+            // §III: reading page buffer to an accelerator outside the chip.
+            t_buffer_to_external_ns: 30_000,
+            // Calibrated so the 512-plane default geometry yields the
+            // paper's 819.2 GB/s internal bandwidth:
+            // 512 planes / x ns-per-byte = 819.2 B/ns  ⇒  x = 0.625.
+            page_buffer_read_ns_per_byte: 0.625,
+            t_command_ns: 200,
+            accel_clock_hz: 800e6,
+            t_dram_access_ns: 50,
+            dram_bytes_per_s: 12.8e9,
+            t_embedded_op_ns: 25,
+        }
+    }
+}
+
+/// A PCIe link with efficiency-derated bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    /// Peak (derated) bandwidth in bytes/second.
+    pub bytes_per_s: f64,
+    /// Fixed per-transfer latency (DMA setup, doorbells).
+    pub base_latency_ns: Nanos,
+}
+
+impl PcieLink {
+    /// PCIe 3.0 ×16 host link; the paper quotes 15.4 GB/s peak.
+    pub fn gen3_x16() -> Self {
+        Self {
+            bytes_per_s: 15.4e9,
+            base_latency_ns: 1_000,
+        }
+    }
+
+    /// PCIe 3.0 ×4 (the private SSD↔FPGA link of SmartSSD, §IV-A).
+    pub fn gen3_x4() -> Self {
+        Self {
+            bytes_per_s: 15.4e9 / 4.0,
+            base_latency_ns: 1_000,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_ns(&self, bytes: u64) -> Nanos {
+        self.base_latency_ns + (bytes as f64 / self.bytes_per_s * 1e9).ceil() as Nanos
+    }
+
+    /// Effective achieved bandwidth for a transfer of `bytes`
+    /// (bytes/second), showing saturation behaviour as transfers grow.
+    pub fn achieved_bytes_per_s(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / (self.transfer_ns(bytes) as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_internal_bandwidth_matches_paper() {
+        let t = FlashTiming::default();
+        let g = FlashGeometry::searssd_default();
+        let bw = t.internal_bandwidth_bytes_per_s(&g);
+        // Paper: 819.2 GB/s.
+        assert!((bw - 819.2e9).abs() / 819.2e9 < 1e-6, "bw = {bw}");
+    }
+
+    #[test]
+    fn channel_transfer_scales_linearly() {
+        let t = FlashTiming::default();
+        let one = t.channel_transfer_ns(16 * 1024);
+        let two = t.channel_transfer_ns(32 * 1024);
+        assert!(two >= 2 * one - 1);
+        // 16 KiB at 800 MB/s ≈ 20.48 µs.
+        assert!((one as f64 - 20_480.0).abs() < 10.0, "one = {one}");
+    }
+
+    #[test]
+    fn accel_cycles_at_800mhz() {
+        let t = FlashTiming::default();
+        // 800 cycles at 800 MHz = 1 µs.
+        assert_eq!(t.accel_cycles_ns(800), 1_000);
+    }
+
+    #[test]
+    fn pcie_x16_vs_x4() {
+        let x16 = PcieLink::gen3_x16();
+        let x4 = PcieLink::gen3_x4();
+        let b = 1 << 20;
+        assert!(x4.transfer_ns(b) > 3 * x16.transfer_ns(b) / 2);
+    }
+
+    #[test]
+    fn pcie_saturates_with_large_transfers() {
+        let link = PcieLink::gen3_x16();
+        let small = link.achieved_bytes_per_s(4 * 1024);
+        let large = link.achieved_bytes_per_s(64 * 1024 * 1024);
+        assert!(small < 0.8 * link.bytes_per_s, "small = {small:.3e}");
+        assert!(large > 0.99 * link.bytes_per_s, "large = {large:.3e}");
+    }
+
+    #[test]
+    fn dram_and_page_buffer_helpers() {
+        let t = FlashTiming::default();
+        assert!(t.page_buffer_stream_ns(16 * 1024) < t.channel_transfer_ns(16 * 1024));
+        assert!(t.dram_transfer_ns(64) > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The baseline interleaved data layout of Fig. 6 and its inefficiency.
+//!
+//! DiskANN and HNSW store, for each vertex, the feature vector immediately
+//! followed by the ids of its ≤ R neighbors, zero-padded to exactly R
+//! entries. On a CPU (64 B cacheline granularity) that is fine; at NAND
+//! page granularity it wastes capacity and drags irrelevant neighbor ids
+//! through every page read. With 128-byte vectors, R = 32 and 4 KiB pages,
+//! 16 slices fit per page but only one slice's neighbor list is useful per
+//! iteration — at least 46.9 % of each page read is wasted (the paper's
+//! figure). CSR separates vectors from adjacency and avoids this.
+
+/// Parameters of the legacy interleaved layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegacyLayout {
+    /// Feature vector bytes per vertex.
+    pub vector_bytes: u32,
+    /// Maximum neighbor count R (DiskANN default 32).
+    pub max_neighbors: u32,
+    /// Bytes per neighbor id (4 in the paper).
+    pub id_bytes: u32,
+    /// NAND page size in bytes.
+    pub page_bytes: u32,
+}
+
+impl LegacyLayout {
+    /// The example configuration the paper walks through in §IV-B:
+    /// 128-byte vectors, R = 32 four-byte ids, 4 KiB pages.
+    pub fn paper_example() -> Self {
+        Self {
+            vector_bytes: 128,
+            max_neighbors: 32,
+            id_bytes: 4,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Bytes of one vertex slice (vector + padded neighbor ids).
+    pub fn slice_bytes(&self) -> u32 {
+        self.vector_bytes + self.max_neighbors * self.id_bytes
+    }
+
+    /// Slices per page.
+    pub fn slices_per_page(&self) -> u32 {
+        self.page_bytes / self.slice_bytes()
+    }
+
+    /// Fraction of a page read that is *wasted* neighbor-id bytes when only
+    /// one slice's neighbor list is needed (the common case: only the
+    /// closest vertex's neighbors feed the next iteration).
+    pub fn wasted_fraction(&self) -> f64 {
+        let slices = self.slices_per_page();
+        if slices == 0 {
+            return 0.0;
+        }
+        let nbr = self.max_neighbors * self.id_bytes;
+        f64::from((slices - 1) * nbr) / f64::from(self.page_bytes)
+    }
+
+    /// Fraction of a page that holds neighbor ids at all (the padding
+    /// overhead CSR eliminates from the vector pages).
+    pub fn neighbor_fraction(&self) -> f64 {
+        let slices = self.slices_per_page();
+        let nbr = self.max_neighbors * self.id_bytes;
+        f64::from(slices * nbr) / f64::from(self.page_bytes)
+    }
+
+    /// Zero-padding waste for a graph whose mean degree is `mean_degree`:
+    /// unused neighbor slots as a fraction of total neighbor area.
+    pub fn padding_waste(&self, mean_degree: f64) -> f64 {
+        (1.0 - mean_degree / f64::from(self.max_neighbors)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_46_9_percent() {
+        let l = LegacyLayout::paper_example();
+        assert_eq!(l.slice_bytes(), 256);
+        assert_eq!(l.slices_per_page(), 16);
+        // (16 - 1) × 128 / 4096 = 46.875 % — the paper's "at least 46.9 %".
+        let w = l.wasted_fraction();
+        assert!((w - 0.46875).abs() < 1e-9, "w = {w}");
+    }
+
+    #[test]
+    fn neighbor_fraction_is_half_for_paper_example() {
+        let l = LegacyLayout::paper_example();
+        assert!((l.neighbor_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padding_waste_scales_with_degree() {
+        let l = LegacyLayout::paper_example();
+        assert_eq!(l.padding_waste(32.0), 0.0);
+        assert_eq!(l.padding_waste(16.0), 0.5);
+        assert_eq!(l.padding_waste(40.0), 0.0);
+    }
+
+    #[test]
+    fn big_pages_waste_more() {
+        let small = LegacyLayout {
+            page_bytes: 4096,
+            ..LegacyLayout::paper_example()
+        };
+        let big = LegacyLayout {
+            page_bytes: 16 * 1024,
+            ..LegacyLayout::paper_example()
+        };
+        assert!(big.wasted_fraction() > small.wasted_fraction());
+    }
+}

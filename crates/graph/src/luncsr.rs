@@ -1,0 +1,264 @@
+//! LUNCSR — the paper's NDP graph format (§IV-B, Fig. 5b).
+//!
+//! LUNCSR extends CSR with two arrays indexed by vertex (or neighbor) id:
+//!
+//! * the **LUN array** — which physical LUN a vertex's feature vector is
+//!   allocated to;
+//! * the **BLK array** — the vertex's *relative physical block* within
+//!   that LUN's plane.
+//!
+//! Both are maintained the way a conventional FTL maintains its mapping
+//! table (the paper notes LUNCSR *replaces* the mapping table — no extra
+//! DRAM), and are updated by the FTL whenever block-level refreshing
+//! relocates a block. Given a vertex's logical id, the page and column
+//! addresses are direct functions of the static placement (they are not
+//! affected by block-level refresh), so the Allocator can infer the final
+//! physical address with a lookup in the LUN/BLK arrays plus arithmetic —
+//! no embedded-core FTL translation on the critical path.
+
+use ndsearch_flash::ftl::RefreshEvent;
+use ndsearch_flash::geometry::{LunId, PhysAddr};
+use ndsearch_vector::VectorId;
+
+use crate::csr::Csr;
+use crate::mapping::VertexMapping;
+
+/// The LUNCSR structure: CSR adjacency + physical placement arrays.
+#[derive(Debug, Clone)]
+pub struct LunCsr {
+    csr: Csr,
+    mapping: VertexMapping,
+    /// LUN array: LUN of each vertex.
+    lun_array: Vec<LunId>,
+    /// BLK array: *physical* block (within the plane) of each vertex.
+    blk_array: Vec<u32>,
+    /// Reverse index: (global plane, logical block) → vertices, driving the
+    /// refresh update path.
+    by_plane_block: std::collections::HashMap<(u32, u32), Vec<VectorId>>,
+}
+
+impl LunCsr {
+    /// Assembles LUNCSR from adjacency and a placement. Physical blocks
+    /// start identity-mapped (fresh device).
+    ///
+    /// # Panics
+    /// Panics if the mapping covers a different number of vertices than the
+    /// graph has.
+    pub fn new(csr: Csr, mapping: VertexMapping) -> Self {
+        assert_eq!(
+            csr.num_vertices(),
+            mapping.len(),
+            "mapping must place every vertex"
+        );
+        let n = csr.num_vertices();
+        let mut lun_array = Vec::with_capacity(n);
+        let mut blk_array = Vec::with_capacity(n);
+        let mut by_plane_block: std::collections::HashMap<(u32, u32), Vec<VectorId>> =
+            std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            lun_array.push(mapping.lun_of(v));
+            blk_array.push(mapping.logical_block_of(v));
+            by_plane_block
+                .entry((mapping.global_plane_of(v), mapping.logical_block_of(v)))
+                .or_default()
+                .push(v);
+        }
+        Self {
+            csr,
+            mapping,
+            lun_array,
+            blk_array,
+            by_plane_block,
+        }
+    }
+
+    /// The adjacency component.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The placement component.
+    pub fn mapping(&self) -> &VertexMapping {
+        &self.mapping
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Neighbor list of a vertex (the CSR indexing trace of Fig. 5b:
+    /// offset array → neighbor array).
+    pub fn neighbors(&self, v: VectorId) -> &[VectorId] {
+        self.csr.neighbors(v)
+    }
+
+    /// LUN array lookup.
+    pub fn lun_of(&self, v: VectorId) -> LunId {
+        self.lun_array[v as usize]
+    }
+
+    /// BLK array lookup (current physical block).
+    pub fn blk_of(&self, v: VectorId) -> u32 {
+        self.blk_array[v as usize]
+    }
+
+    /// Direct physical-address inference (§IV-B): page/column from the
+    /// static placement, block from the BLK array, LUN from the LUN array —
+    /// no FTL translation.
+    pub fn physical_addr(&self, v: VectorId) -> PhysAddr {
+        self.mapping.addr_with_block(v, self.blk_of(v))
+    }
+
+    /// Neighbors of `v` together with their LUNs — what the Vgenerator's
+    /// OFS/NBR/LUN fetch pipeline produces.
+    pub fn neighbor_luns(&self, v: VectorId) -> impl Iterator<Item = (VectorId, LunId)> + '_ {
+        self.neighbors(v).iter().map(move |&nb| (nb, self.lun_of(nb)))
+    }
+
+    /// Applies a block-level refresh event: every vertex whose data lived
+    /// in the relocated (plane, logical block) gets its BLK entry updated —
+    /// the "bijection (update after refreshing)" arrow in Fig. 5(b).
+    /// Returns how many vertices were touched.
+    pub fn apply_refresh(&mut self, event: &RefreshEvent) -> usize {
+        let Some(vertices) = self
+            .by_plane_block
+            .get(&(event.plane, event.logical_block))
+        else {
+            return 0;
+        };
+        for &v in vertices {
+            self.blk_array[v as usize] = event.new_physical;
+        }
+        vertices.len()
+    }
+
+    /// DRAM footprint of the metadata arrays (offset + neighbor + LUN +
+    /// BLK), which the paper buffers in the SSD's internal DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.csr.metadata_bytes() + 4 * 2 * self.num_vertices() as u64
+    }
+
+    /// Verifies that every vertex's BLK entry matches an FTL's current
+    /// logical→physical map. Used by tests.
+    pub fn consistent_with_ftl(&self, ftl: &ndsearch_flash::ftl::Ftl) -> bool {
+        (0..self.num_vertices() as u32).all(|v| {
+            let plane = self.mapping.global_plane_of(v);
+            ftl.physical_block(plane, self.mapping.logical_block_of(v)) == self.blk_of(v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::PlacementPolicy;
+    use ndsearch_flash::ftl::Ftl;
+    use ndsearch_flash::geometry::FlashGeometry;
+    use ndsearch_vector::rng::Pcg32;
+
+    fn build(n: usize) -> LunCsr {
+        let mut lists = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            lists.push(vec![(v + 1) % n as u32, (v + 2) % n as u32]);
+        }
+        let csr = Csr::from_adjacency(&lists).unwrap();
+        let mapping = VertexMapping::place(
+            FlashGeometry::tiny(),
+            n,
+            128,
+            PlacementPolicy::MultiPlaneAware,
+        );
+        LunCsr::new(csr, mapping)
+    }
+
+    #[test]
+    fn arrays_match_mapping_initially() {
+        let lc = build(100);
+        for v in 0..100u32 {
+            assert_eq!(lc.lun_of(v), lc.mapping().lun_of(v));
+            assert_eq!(lc.blk_of(v), lc.mapping().logical_block_of(v));
+            let a = lc.physical_addr(v);
+            assert_eq!(a, lc.mapping().addr_identity(v));
+        }
+    }
+
+    #[test]
+    fn neighbor_luns_pairs_up() {
+        let lc = build(50);
+        let pairs: Vec<_> = lc.neighbor_luns(0).collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 1);
+        assert_eq!(pairs[0].1, lc.lun_of(1));
+    }
+
+    #[test]
+    fn refresh_updates_only_affected_vertices() {
+        let mut lc = build(200);
+        let mut ftl = Ftl::new(*lc.mapping().geometry(), 42);
+        // Pick the plane+block of vertex 0.
+        let plane = lc.mapping().global_plane_of(0);
+        let block = lc.mapping().logical_block_of(0);
+        let evs = ftl.refresh_block(plane, block);
+        let mut touched = 0;
+        for ev in &evs {
+            touched += lc.apply_refresh(ev);
+        }
+        assert!(touched > 0, "vertex 0's block should host vertices");
+        assert_eq!(lc.blk_of(0), evs[0].new_physical);
+        assert!(lc.consistent_with_ftl(&ftl));
+    }
+
+    #[test]
+    fn random_refresh_storm_keeps_consistency() {
+        let mut lc = build(500);
+        let geom = *lc.mapping().geometry();
+        let mut ftl = Ftl::new(geom, 7);
+        let mut rng = Pcg32::seed_from_u64(13);
+        for _ in 0..300 {
+            let plane = rng.index(geom.total_planes() as usize) as u32;
+            let block = rng.index(geom.blocks_per_plane as usize) as u32;
+            for ev in ftl.refresh_block(plane, block) {
+                lc.apply_refresh(&ev);
+            }
+        }
+        assert!(lc.consistent_with_ftl(&ftl));
+        // Physical addresses remain valid.
+        for v in 0..lc.num_vertices() as u32 {
+            let a = lc.physical_addr(v);
+            assert!(PhysAddr::checked(&geom, a.lun, a.plane_in_lun, a.block, a.page, a.byte)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn refresh_of_unused_block_touches_nothing() {
+        let mut lc = build(16); // only one page's worth of vertices
+        let geom = *lc.mapping().geometry();
+        let mut ftl = Ftl::new(geom, 1);
+        // A far-away plane holds no vertices.
+        let evs = ftl.refresh_block(geom.total_planes() - 1, 3);
+        let touched: usize = evs.iter().map(|ev| lc.apply_refresh(ev)).sum();
+        assert_eq!(touched, 0);
+    }
+
+    #[test]
+    fn dram_bytes_counts_four_arrays() {
+        let lc = build(10);
+        // offsets 11 + neighbors 20 + lun 10 + blk 10 = 51 entries × 4 B.
+        assert_eq!(lc.dram_bytes(), 4 * (11 + 20 + 10 + 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping must place every vertex")]
+    fn mismatched_sizes_panic() {
+        let csr = Csr::from_adjacency(&[vec![], vec![]]).unwrap();
+        let mapping = VertexMapping::place(
+            FlashGeometry::tiny(),
+            5,
+            128,
+            PlacementPolicy::Linear,
+        );
+        LunCsr::new(csr, mapping);
+    }
+}

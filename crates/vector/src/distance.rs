@@ -1,0 +1,198 @@
+//! Distance kernels.
+//!
+//! The `<SearchPage>` instruction carries a 2-bit "Distance" field selecting
+//! Euclidean, angular or inner-product distance (Fig. 9b). [`DistanceKind`]
+//! is the software mirror of that field; [`DistanceKind::encode`] /
+//! [`DistanceKind::decode`] round-trip the 2-bit encoding used by the flash
+//! command model.
+
+use crate::dataset::Dataset;
+use crate::VectorId;
+
+/// The distance family computed by a MAC group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceKind {
+    /// Squared Euclidean distance (monotone in L2; the sqrt is never needed
+    /// for ranking so hardware skips it).
+    #[default]
+    L2,
+    /// Angular (cosine) distance: `1 - cos(a, b)`.
+    Angular,
+    /// Negative inner product (so that *smaller is closer*, like the other
+    /// two kinds).
+    InnerProduct,
+}
+
+impl DistanceKind {
+    /// All supported kinds, in encoding order.
+    pub const ALL: [DistanceKind; 3] =
+        [DistanceKind::L2, DistanceKind::Angular, DistanceKind::InnerProduct];
+
+    /// Evaluates the distance between two equal-length vectors.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match self {
+            DistanceKind::L2 => l2_squared(a, b),
+            DistanceKind::Angular => angular(a, b),
+            DistanceKind::InnerProduct => neg_inner_product(a, b),
+        }
+    }
+
+    /// Convenience: distance between two dataset vectors.
+    ///
+    /// # Panics
+    /// Panics if either id is out of bounds.
+    pub fn eval_ids(self, ds: &Dataset, a: VectorId, b: VectorId) -> f32 {
+        self.eval(ds.vector(a), ds.vector(b))
+    }
+
+    /// Encodes into the 2-bit "Distance" field of `<SearchPage>`.
+    pub fn encode(self) -> u8 {
+        match self {
+            DistanceKind::L2 => 0b00,
+            DistanceKind::Angular => 0b01,
+            DistanceKind::InnerProduct => 0b10,
+        }
+    }
+
+    /// Decodes the 2-bit "Distance" field. Returns `None` for the reserved
+    /// encoding `0b11`.
+    pub fn decode(bits: u8) -> Option<Self> {
+        match bits & 0b11 {
+            0b00 => Some(DistanceKind::L2),
+            0b01 => Some(DistanceKind::Angular),
+            0b10 => Some(DistanceKind::InnerProduct),
+            _ => None,
+        }
+    }
+
+    /// Number of multiply-accumulate operations one evaluation costs, used
+    /// by the MAC-group timing model (`dim` MACs for L2/IP, `3*dim` for
+    /// angular which needs dot, |a|² and |b|²).
+    pub fn mac_ops(self, dim: usize) -> usize {
+        match self {
+            DistanceKind::L2 | DistanceKind::InnerProduct => dim,
+            DistanceKind::Angular => 3 * dim,
+        }
+    }
+}
+
+impl std::fmt::Display for DistanceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DistanceKind::L2 => "l2",
+            DistanceKind::Angular => "angular",
+            DistanceKind::InnerProduct => "inner-product",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Angular distance `1 - cos(a,b)`; zero vectors are treated as maximally
+/// distant (distance 1).
+#[inline]
+pub fn angular(a: &[f32], b: &[f32]) -> f32 {
+    let d = dot(a, b);
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - (d / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Negative inner product (smaller = more similar).
+#[inline]
+pub fn neg_inner_product(a: &[f32], b: &[f32]) -> f32 {
+    -dot(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_hand_math() {
+        assert_eq!(l2_squared(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(DistanceKind::L2.eval(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn angular_of_parallel_vectors_is_zero() {
+        let d = angular(&[1.0, 2.0], &[2.0, 4.0]);
+        assert!(d.abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn angular_of_orthogonal_vectors_is_one() {
+        let d = angular(&[1.0, 0.0], &[0.0, 5.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_of_opposite_vectors_is_two() {
+        let d = angular(&[1.0, 0.0], &[-3.0, 0.0]);
+        assert!((d - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_handles_zero_vector() {
+        assert_eq!(angular(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn inner_product_prefers_aligned() {
+        let q = [1.0, 1.0];
+        let close = [2.0, 2.0];
+        let far = [-1.0, 0.5];
+        assert!(neg_inner_product(&q, &close) < neg_inner_product(&q, &far));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for kind in DistanceKind::ALL {
+            assert_eq!(DistanceKind::decode(kind.encode()), Some(kind));
+        }
+        assert_eq!(DistanceKind::decode(0b11), None);
+    }
+
+    #[test]
+    fn mac_ops_scale_with_dim() {
+        assert_eq!(DistanceKind::L2.mac_ops(128), 128);
+        assert_eq!(DistanceKind::Angular.mac_ops(128), 384);
+        assert_eq!(DistanceKind::InnerProduct.mac_ops(10), 10);
+    }
+
+    #[test]
+    fn eval_ids_reads_dataset() {
+        let ds = Dataset::from_rows(2, vec![vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(DistanceKind::L2.eval_ids(&ds, 0, 1), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn eval_rejects_mismatched_dims() {
+        DistanceKind::L2.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

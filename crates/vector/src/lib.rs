@@ -1,0 +1,40 @@
+//! Vector primitives for the NDSEARCH reproduction.
+//!
+//! This crate holds everything the rest of the workspace needs to talk about
+//! *feature vectors*: storage ([`Dataset`]), distance kernels
+//! ([`DistanceKind`]), deterministic random number generation
+//! ([`rng::SplitMix64`], [`rng::Pcg32`]), synthetic dataset presets mirroring
+//! the paper's five benchmarks ([`synthetic::DatasetSpec`]), exact
+//! ground-truth / recall evaluation ([`recall`]) and a bounded top-k
+//! collector ([`topk::TopK`]).
+//!
+//! The NDSEARCH paper evaluates on glove-100, fashion-mnist, sift-1b,
+//! deep-1b and spacev-1b. Billion-scale corpora are not tractable inside a
+//! cycle-level simulator, so [`synthetic`] generates clustered-Gaussian
+//! datasets with the *same dimensionality and value-distribution class* at a
+//! scaled vector count; the flash geometry is scaled in proportion elsewhere
+//! so relative occupancy (the quantity that drives the paper's locality
+//! effects) is preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use ndsearch_vector::{synthetic::DatasetSpec, DistanceKind};
+//!
+//! let dataset = DatasetSpec::sift_scaled(1_000, 16).build();
+//! assert_eq!(dataset.len(), 1_000);
+//! let d = DistanceKind::L2.eval(dataset.vector(0), dataset.vector(1));
+//! assert!(d >= 0.0);
+//! ```
+
+pub mod dataset;
+pub mod distance;
+pub mod recall;
+pub mod rng;
+pub mod synthetic;
+pub mod topk;
+
+pub use dataset::{Dataset, VectorId};
+pub use distance::DistanceKind;
+pub use recall::{ground_truth, recall_at_k};
+pub use topk::TopK;

@@ -1,0 +1,115 @@
+//! Exact ground truth and recall@k evaluation.
+
+use crate::dataset::Dataset;
+use crate::distance::DistanceKind;
+use crate::topk::{Neighbor, TopK};
+use crate::VectorId;
+
+/// Computes the exact `k` nearest base vectors for one query by brute-force
+/// scan — the "NNS" the paper's ANNS approximates (§II-A).
+pub fn exact_knn(base: &Dataset, query: &[f32], k: usize, kind: DistanceKind) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (id, v) in base.iter() {
+        top.push(Neighbor::new(kind.eval(query, v), id));
+    }
+    top.into_sorted_vec()
+}
+
+/// Computes ground truth id lists for every query.
+pub fn ground_truth(
+    base: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    kind: DistanceKind,
+) -> Vec<Vec<VectorId>> {
+    queries
+        .iter()
+        .map(|(_, q)| exact_knn(base, q, k, kind).iter().map(|n| n.id).collect())
+        .collect()
+}
+
+/// recall@k of `found` against `truth` for a single query: the fraction of
+/// true top-k ids present among the first `k` found ids.
+pub fn recall_single(truth: &[VectorId], found: &[VectorId], k: usize) -> f64 {
+    if k == 0 || truth.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(truth.len());
+    let hits = truth[..k]
+        .iter()
+        .filter(|t| found.iter().take(k).any(|f| f == *t))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Mean recall@k over a batch of queries.
+///
+/// # Panics
+/// Panics if the two lists have different lengths.
+pub fn recall_at_k(truth: &[Vec<VectorId>], found: &[Vec<VectorId>], k: usize) -> f64 {
+    assert_eq!(truth.len(), found.len(), "query count mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(found.iter())
+        .map(|(t, f)| recall_single(t, f, k))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset(n: usize) -> Dataset {
+        // Points at x = 0, 1, 2, ... on a 2-d line.
+        Dataset::from_rows(2, (0..n).map(|i| vec![i as f32, 0.0]).collect()).unwrap()
+    }
+
+    #[test]
+    fn exact_knn_finds_closest_points() {
+        let ds = line_dataset(10);
+        let nn = exact_knn(&ds, &[3.2, 0.0], 3, DistanceKind::L2);
+        let ids: Vec<_> = nn.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn ground_truth_shape() {
+        let base = line_dataset(5);
+        let queries = Dataset::from_rows(2, vec![vec![0.1, 0.0], vec![4.0, 0.0]]).unwrap();
+        let gt = ground_truth(&base, &queries, 2, DistanceKind::L2);
+        assert_eq!(gt.len(), 2);
+        assert_eq!(gt[0], vec![0, 1]);
+        assert_eq!(gt[1], vec![4, 3]);
+    }
+
+    #[test]
+    fn perfect_recall_is_one() {
+        let truth = vec![vec![1, 2, 3]];
+        let found = vec![vec![3, 2, 1]];
+        assert_eq!(recall_at_k(&truth, &found, 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let truth = vec![vec![1, 2, 3, 4]];
+        let found = vec![vec![1, 9, 3, 8]];
+        assert!((recall_at_k(&truth, &found, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_only_counts_first_k_found() {
+        let truth = vec![vec![1, 2]];
+        let found = vec![vec![7, 8, 1, 2]]; // right ids but beyond position k
+        assert_eq!(recall_at_k(&truth, &found, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(recall_at_k(&[], &[], 10), 0.0);
+        assert_eq!(recall_single(&[], &[1], 1), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a dataset, construct an HNSW graph, record search
+//! traces, stage them on the simulated SearSSD and run the NDSEARCH
+//! engine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ndsearch::anns::hnsw::{Hnsw, HnswParams};
+use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::core::config::NdsConfig;
+use ndsearch::core::engine::NdsEngine;
+use ndsearch::core::pipeline::Prepared;
+use ndsearch::vector::recall::{ground_truth, recall_at_k};
+use ndsearch::vector::synthetic::DatasetSpec;
+use ndsearch::vector::DistanceKind;
+
+fn main() {
+    // 1. A sift-like synthetic dataset: 128-d byte vectors, clustered.
+    let spec = DatasetSpec::sift_scaled(4000, 256);
+    let (base, queries) = spec.build_pair();
+    println!(
+        "dataset: {} x {}-d ({} benchmark model)",
+        base.len(),
+        base.dim(),
+        spec.benchmark
+    );
+
+    // 2. Build the HNSW index and run the real search phase.
+    let index = Hnsw::build(&base, HnswParams::default());
+    let params = SearchParams::new(10, 80, DistanceKind::L2);
+    let out = index.search_batch(&base, &queries, &params);
+
+    // 3. Verify quality against brute force.
+    let gt = ground_truth(&base, &queries, 10, DistanceKind::L2);
+    let recall = recall_at_k(&gt, &out.id_lists(), 10);
+    println!("recall@10 = {recall:.3}");
+    println!(
+        "trace: {} visited vertices over {} queries ({:.0} per query)",
+        out.trace.total_visited(),
+        out.trace.len(),
+        out.trace.mean_trace_len()
+    );
+
+    // 4. Stage on SearSSD (reorder + multi-plane placement + LUNCSR) and
+    //    run the near-data processing engine.
+    let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    let prepared = Prepared::stage(&config, index.base_graph(), &base, &out.trace);
+    let report = NdsEngine::new(&config).run(&prepared);
+
+    println!("\n== NDSEARCH report ==");
+    println!("batch latency    : {:.3} ms", report.total_ns as f64 / 1e6);
+    println!("throughput       : {:.1} kQPS", report.qps() / 1e3);
+    println!("page access ratio: {:.3}", report.page_access_ratio());
+    println!("LUN coverage     : {:.1} %", 100.0 * report.lun_coverage);
+    println!(
+        "speculation hits : {:.1} %",
+        100.0 * report.speculation.hit_rate()
+    );
+    println!("\nlatency breakdown:");
+    for (label, frac) in report.breakdown.fractions() {
+        println!("  {label:<16} {:5.1} %", 100.0 * frac);
+    }
+}

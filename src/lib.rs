@@ -1,0 +1,43 @@
+//! # NDSEARCH — a reproduction of the ISCA'24 near-data ANNS accelerator
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`vector`] | `ndsearch-vector` | vectors, distances, synthetic datasets, recall |
+//! | [`flash`] | `ndsearch-flash` | NAND flash simulator: geometry, commands, timing, FTL, ECC |
+//! | [`graph`] | `ndsearch-graph` | CSR, LUNCSR, reordering, multi-plane placement |
+//! | [`anns`] | `ndsearch-anns` | HNSW, DiskANN/Vamana, HCNNG, TOGG, bitonic sort, traces |
+//! | [`core`] | `ndsearch-core` | SearSSD engine: Vgenerator, Allocator, SiN, scheduling, energy |
+//! | [`baselines`] | `ndsearch-baselines` | CPU, CPU-T, GPU, SmartSSD, DeepStore models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ndsearch::anns::hnsw::{Hnsw, HnswParams};
+//! use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+//! use ndsearch::core::{config::NdsConfig, engine::NdsEngine, pipeline::Prepared};
+//! use ndsearch::vector::synthetic::DatasetSpec;
+//!
+//! // 1. Build a dataset and an ANNS graph, and record search traces.
+//! let (base, queries) = DatasetSpec::sift_scaled(500, 16).build_pair();
+//! let index = Hnsw::build(&base, HnswParams::default());
+//! let out = index.search_batch(&base, &queries, &SearchParams::default());
+//!
+//! // 2. Stage it on the simulated SearSSD and run the NDP engine.
+//! let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+//! let prepared = Prepared::stage(&config, index.base_graph(), &base, &out.trace);
+//! let report = NdsEngine::new(&config).run(&prepared);
+//! println!("QPS = {:.0}", report.qps());
+//! # assert!(report.qps() > 0.0);
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench` for the binaries
+//! that regenerate every table and figure of the paper.
+
+pub use ndsearch_anns as anns;
+pub use ndsearch_baselines as baselines;
+pub use ndsearch_core as core;
+pub use ndsearch_flash as flash;
+pub use ndsearch_graph as graph;
+pub use ndsearch_vector as vector;

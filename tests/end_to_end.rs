@@ -1,0 +1,68 @@
+//! End-to-end integration: every ANNS algorithm → traces → static
+//! scheduling → NDSEARCH engine, with recall and report sanity checks.
+
+use ndsearch::anns::hcnng::{Hcnng, HcnngParams};
+use ndsearch::anns::hnsw::{Hnsw, HnswParams};
+use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::anns::togg::{Togg, ToggParams};
+use ndsearch::anns::vamana::{Vamana, VamanaParams};
+use ndsearch::core::config::NdsConfig;
+use ndsearch::core::engine::NdsEngine;
+use ndsearch::core::pipeline::Prepared;
+use ndsearch::vector::recall::{ground_truth, recall_at_k};
+use ndsearch::vector::synthetic::DatasetSpec;
+use ndsearch::vector::DistanceKind;
+
+fn pipeline(index: &dyn GraphAnnsIndex, min_recall: f64) {
+    let (base, queries) = DatasetSpec::sift_scaled(700, 24).build_pair();
+    let params = SearchParams::new(10, 80, DistanceKind::L2);
+    let out = index.search_batch(&base, &queries, &params);
+
+    // Quality.
+    let gt = ground_truth(&base, &queries, 10, DistanceKind::L2);
+    let recall = recall_at_k(&gt, &out.id_lists(), 10);
+    assert!(
+        recall >= min_recall,
+        "{}: recall {recall} below {min_recall}",
+        index.algorithm()
+    );
+
+    // Architecture replay.
+    let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    let prepared = Prepared::stage(&config, index.base_graph(), &base, &out.trace);
+    let report = NdsEngine::new(&config).run(&prepared);
+    assert_eq!(report.queries, 24);
+    assert!(report.total_ns > 0);
+    assert_eq!(report.trace_len, out.trace.total_visited());
+    assert!(report.stats.page_reads > 0);
+    assert!(report.breakdown.total_ns() == report.total_ns);
+    assert!(report.lun_coverage > 0.0);
+}
+
+#[test]
+fn hnsw_end_to_end() {
+    let base = DatasetSpec::sift_scaled(700, 24).build();
+    let index = Hnsw::build(&base, HnswParams::default());
+    pipeline(&index, 0.85);
+}
+
+#[test]
+fn diskann_end_to_end() {
+    let base = DatasetSpec::sift_scaled(700, 24).build();
+    let index = Vamana::build(&base, VamanaParams::default());
+    pipeline(&index, 0.85);
+}
+
+#[test]
+fn hcnng_end_to_end() {
+    let base = DatasetSpec::sift_scaled(700, 24).build();
+    let index = Hcnng::build(&base, HcnngParams::default());
+    pipeline(&index, 0.75);
+}
+
+#[test]
+fn togg_end_to_end() {
+    let base = DatasetSpec::sift_scaled(700, 24).build();
+    let index = Togg::build(&base, ToggParams::default());
+    pipeline(&index, 0.80);
+}

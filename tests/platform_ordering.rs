@@ -1,0 +1,138 @@
+//! Cross-crate invariants on the platform comparison (the qualitative
+//! "who wins" shapes of Fig. 13 / Fig. 21 that any reproduction must
+//! preserve).
+
+use ndsearch::anns::hnsw::{Hnsw, HnswParams};
+use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::baselines::{
+    CpuPlatform, DeepStorePlatform, GpuPlatform, Platform, PlatformReport, Scenario,
+    SmartSsdPlatform,
+};
+use ndsearch::core::config::NdsConfig;
+use ndsearch::core::engine::NdsEngine;
+use ndsearch::core::pipeline::Prepared;
+use ndsearch::vector::synthetic::{BenchmarkId, DatasetSpec};
+use ndsearch::vector::DistanceKind;
+
+struct Fixture {
+    base: ndsearch::vector::Dataset,
+    graph: ndsearch::graph::Csr,
+    trace: ndsearch::anns::trace::BatchTrace,
+    config: NdsConfig,
+}
+
+fn fixture(benchmark: BenchmarkId) -> Fixture {
+    // Large enough that the dataset spans the scaled device and the batch
+    // feeds the LUN-level parallelism (see NdsConfig::scaled_for).
+    let spec = DatasetSpec::for_benchmark(benchmark, 4000, 512);
+    let (base, queries) = spec.build_pair();
+    let index = Hnsw::build(&base, HnswParams::default());
+    let out = index.search_batch(
+        &base,
+        &queries,
+        &SearchParams::new(10, 64, DistanceKind::L2),
+    );
+    let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    Fixture {
+        base,
+        graph: index.base_graph().clone(),
+        trace: out.trace,
+        config,
+    }
+}
+
+fn reports(fx: &Fixture, benchmark: BenchmarkId) -> (Vec<PlatformReport>, u64) {
+    let s = Scenario {
+        benchmark,
+        base: &fx.base,
+        graph: &fx.graph,
+        trace: &fx.trace,
+        config: &fx.config,
+        k: 10,
+    };
+    let baselines = vec![
+        CpuPlatform::paper_default().report(&s),
+        GpuPlatform::paper_default().report(&s),
+        SmartSsdPlatform::paper_default().report(&s),
+        DeepStorePlatform::channel_level().report(&s),
+        DeepStorePlatform::chip_level().report(&s),
+    ];
+    let prepared = Prepared::stage(&fx.config, &fx.graph, &fx.base, &fx.trace);
+    let nds = NdsEngine::new(&fx.config).run(&prepared);
+    (baselines, nds.total_ns)
+}
+
+#[test]
+fn billion_scale_ordering_matches_fig13() {
+    let fx = fixture(BenchmarkId::Sift1B);
+    let (reports, nds_ns) = reports(&fx, BenchmarkId::Sift1B);
+    let by_name = |n: &str| {
+        reports
+            .iter()
+            .find(|r| r.name == n)
+            .unwrap_or_else(|| panic!("missing {n}"))
+            .total_ns
+    };
+    // NDSEARCH fastest, then DS-cp, DS-c; everything in-storage beats CPU.
+    assert!(nds_ns < by_name("DS-cp"), "NDSEARCH must beat DS-cp");
+    assert!(by_name("DS-cp") < by_name("DS-c"), "DS-cp must beat DS-c");
+    assert!(by_name("DS-c") < by_name("CPU"), "DS-c must beat CPU");
+    assert!(by_name("SmartSSD") < by_name("CPU"), "SmartSSD must beat CPU");
+    assert!(by_name("GPU") < by_name("CPU"), "GPU must beat CPU");
+    // And the headline: order-of-magnitude class advantage over CPU.
+    let ratio = by_name("CPU") as f64 / nds_ns as f64;
+    assert!(ratio > 5.0, "NDSEARCH vs CPU ratio {ratio} too small");
+}
+
+#[test]
+fn small_datasets_keep_ndsearch_ahead_but_tighter() {
+    // Fig. 13: on memory-resident glove-100/fashion-mnist the CPU/GPU no
+    // longer pay SSD I/O, so NDSEARCH's margin narrows but persists.
+    let fx = fixture(BenchmarkId::Glove100);
+    let (reports, nds_ns) = reports(&fx, BenchmarkId::Glove100);
+    let cpu = reports.iter().find(|r| r.name == "CPU").unwrap().total_ns;
+    let big = fixture(BenchmarkId::Sift1B);
+    let (big_reports, big_nds) = reports2(&big);
+    let big_cpu = big_reports
+        .iter()
+        .find(|r| r.name == "CPU")
+        .unwrap()
+        .total_ns;
+    let small_ratio = cpu as f64 / nds_ns as f64;
+    let big_ratio = big_cpu as f64 / big_nds as f64;
+    assert!(small_ratio > 1.0, "NDSEARCH must still win: {small_ratio}");
+    assert!(
+        big_ratio > small_ratio,
+        "billion-scale advantage ({big_ratio:.1}x) must exceed small-set ({small_ratio:.1}x)"
+    );
+}
+
+fn reports2(fx: &Fixture) -> (Vec<PlatformReport>, u64) {
+    reports(fx, BenchmarkId::Sift1B)
+}
+
+#[test]
+fn energy_efficiency_ordering() {
+    use ndsearch::core::energy::PowerModel;
+    let fx = fixture(BenchmarkId::Sift1B);
+    let (reports, nds_ns) = reports(&fx, BenchmarkId::Sift1B);
+    let power = PowerModel::default();
+    let nds_qps = fx.trace.len() as f64 / (nds_ns as f64 / 1e9);
+    let nds_eff = nds_qps / (power.ndsearch_total_w() + power.ssd_device_w);
+    for r in &reports {
+        assert!(
+            nds_eff > r.qps_per_watt(),
+            "NDSEARCH QPS/W must beat {} ({} vs {})",
+            r.name,
+            nds_eff,
+            r.qps_per_watt()
+        );
+    }
+    // Two-orders-of-magnitude class vs CPU (Fig. 20).
+    let cpu = reports.iter().find(|r| r.name == "CPU").unwrap();
+    assert!(
+        nds_eff / cpu.qps_per_watt() > 20.0,
+        "vs CPU efficiency ratio = {}",
+        nds_eff / cpu.qps_per_watt()
+    );
+}

@@ -1,0 +1,162 @@
+//! Workspace-level property-based tests (proptest) on the core data
+//! structures and invariants.
+
+use proptest::prelude::*;
+
+use ndsearch::anns::bitonic::bitonic_sort;
+use ndsearch::flash::ftl::Ftl;
+use ndsearch::flash::geometry::FlashGeometry;
+use ndsearch::graph::csr::Csr;
+use ndsearch::graph::luncsr::LunCsr;
+use ndsearch::graph::mapping::{PlacementPolicy, VertexMapping};
+use ndsearch::graph::reorder::{bandwidth, Permutation, ReorderMethod};
+use ndsearch::vector::distance::{angular, l2_squared};
+use ndsearch::vector::topk::{Neighbor, TopK};
+
+proptest! {
+    #[test]
+    fn bitonic_sorts_anything(mut v in proptest::collection::vec(any::<i32>(), 0..300)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        bitonic_sort(&mut v);
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn topk_matches_sort(
+        v in proptest::collection::vec(0u32..10_000, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &x) in v.iter().enumerate() {
+            top.push(Neighbor::new(x as f32, i as u32));
+        }
+        let got: Vec<f32> = top.into_sorted_vec().iter().map(|n| n.distance).collect();
+        let mut expected: Vec<f32> = v.iter().map(|&x| x as f32).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.truncate(k);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn l2_is_symmetric_and_nonnegative(
+        a in proptest::collection::vec(-100.0f32..100.0, 8),
+        b in proptest::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let d1 = l2_squared(&a, &b);
+        let d2 = l2_squared(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() <= f32::EPSILON * d1.abs().max(1.0));
+        prop_assert_eq!(l2_squared(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn angular_is_bounded(
+        a in proptest::collection::vec(-100.0f32..100.0, 8),
+        b in proptest::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let d = angular(&a, &b);
+        prop_assert!((0.0..=2.0 + 1e-6).contains(&d), "d = {}", d);
+    }
+
+    #[test]
+    fn permutation_round_trips(n in 1usize..200, seed in any::<u64>()) {
+        let lists = vec![Vec::new(); n];
+        let csr = Csr::from_adjacency(&lists).unwrap();
+        let perm = ReorderMethod::RandomShuffle.permutation(&csr, seed);
+        for v in 0..n as u32 {
+            prop_assert_eq!(perm.old_of(perm.new_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_edge_count(
+        edges in proptest::collection::vec((0u32..50, 0u32..50), 0..150),
+        seed in any::<u64>(),
+    ) {
+        let csr = Csr::from_edges(50, &edges, false).unwrap();
+        let perm = ReorderMethod::RandomShuffle.permutation(&csr, seed);
+        let relabeled = csr.relabel(&perm);
+        prop_assert_eq!(relabeled.num_edges(), csr.num_edges());
+        // Degree multiset is preserved.
+        let mut d1: Vec<usize> = (0..50u32).map(|v| csr.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..50u32).map(|v| relabeled.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn degree_ascending_bfs_never_worse_than_shuffle(
+        ring_extra in 2u32..20,
+        seed in any::<u64>(),
+    ) {
+        let n = 120u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            edges.push((i, (i + ring_extra) % n));
+        }
+        let g = Csr::from_edges(n as usize, &edges, true).unwrap();
+        let shuffled = g.relabel(&ReorderMethod::RandomShuffle.permutation(&g, seed));
+        let ours = shuffled.relabel(
+            &ReorderMethod::DegreeAscendingBfs.permutation(&shuffled, 0),
+        );
+        prop_assert!(bandwidth(&ours) <= bandwidth(&shuffled) + 1e-9);
+    }
+
+    #[test]
+    fn mapping_is_injective(
+        n in 1usize..2000,
+        bytes in 64usize..512,
+        multiplane in any::<bool>(),
+    ) {
+        let geom = FlashGeometry::tiny();
+        let capacity = geom.total_pages() as usize * (geom.page_bytes as usize / bytes);
+        let n = n.min(capacity);
+        let policy = if multiplane {
+            PlacementPolicy::MultiPlaneAware
+        } else {
+            PlacementPolicy::Linear
+        };
+        let m = VertexMapping::place(geom, n, bytes, policy);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n as u32 {
+            let a = m.addr_identity(v);
+            prop_assert!(seen.insert((a.lun, a.plane_in_lun, a.block, a.page, a.byte)));
+        }
+    }
+
+    #[test]
+    fn luncsr_survives_random_refreshes(
+        ops in proptest::collection::vec((0u32..16, 0u32..4), 0..100),
+    ) {
+        let geom = FlashGeometry::tiny();
+        let n = 300usize;
+        let lists: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![(v + 1) % n as u32]).collect();
+        let csr = Csr::from_adjacency(&lists).unwrap();
+        let mapping = VertexMapping::place(geom, n, 128, PlacementPolicy::MultiPlaneAware);
+        let mut luncsr = LunCsr::new(csr, mapping);
+        let mut ftl = Ftl::new(geom, 5);
+        for (plane, block) in ops {
+            for ev in ftl.refresh_block(plane, block) {
+                luncsr.apply_refresh(&ev);
+            }
+        }
+        prop_assert!(ftl.is_bijective());
+        prop_assert!(luncsr.consistent_with_ftl(&ftl));
+    }
+
+    #[test]
+    fn permutation_composition_is_associative(n in 1usize..60, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let csr = Csr::from_adjacency(&vec![Vec::new(); n]).unwrap();
+        let p = ReorderMethod::RandomShuffle.permutation(&csr, s1);
+        let q = ReorderMethod::RandomShuffle.permutation(&csr, s2);
+        let ident = Permutation::identity(n);
+        let via_ident = p.then(&ident).then(&q);
+        let direct = p.then(&q);
+        for v in 0..n as u32 {
+            prop_assert_eq!(via_ident.new_of(v), direct.new_of(v));
+        }
+    }
+}

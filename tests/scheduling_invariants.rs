@@ -1,0 +1,140 @@
+//! Integration invariants on the two-level scheduling: the Fig. 14/15/16
+//! ablation shapes, determinism, and refresh consistency under load.
+
+use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::anns::vamana::{Vamana, VamanaParams};
+use ndsearch::core::config::{NdsConfig, SchedulingConfig};
+use ndsearch::core::engine::NdsEngine;
+use ndsearch::core::pipeline::Prepared;
+use ndsearch::core::report::NdsReport;
+use ndsearch::vector::synthetic::DatasetSpec;
+use ndsearch::vector::DistanceKind;
+
+struct Fixture {
+    base: ndsearch::vector::Dataset,
+    graph: ndsearch::graph::Csr,
+    trace: ndsearch::anns::trace::BatchTrace,
+    config: NdsConfig,
+}
+
+fn fixture() -> Fixture {
+    let (base, queries) = DatasetSpec::deep_scaled(900, 96).build_pair();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let out = index.search_batch(
+        &base,
+        &queries,
+        &SearchParams::new(10, 64, DistanceKind::L2),
+    );
+    // The dense `tiny` geometry keeps several pages per plane at this
+    // fixture size, which is the regime the scheduling techniques target
+    // (a billion-vector corpus fills thousands of pages per plane).
+    let mut config = NdsConfig {
+        geometry: ndsearch::flash::geometry::FlashGeometry::tiny(),
+        ..NdsConfig::default()
+    };
+    config.ecc.hard_decision_failure_prob = 0.0;
+    Fixture {
+        base,
+        graph: index.base_graph().clone(),
+        trace: out.trace,
+        config,
+    }
+}
+
+fn run(fx: &Fixture, sched: SchedulingConfig) -> NdsReport {
+    let config = NdsConfig {
+        scheduling: sched,
+        ..fx.config.clone()
+    };
+    let prepared = Prepared::stage(&config, &fx.graph, &fx.base, &fx.trace);
+    NdsEngine::new(&config).run(&prepared)
+}
+
+#[test]
+fn ablation_ladder_is_monotone_in_throughput() {
+    let fx = fixture();
+    let mut last_qps = 0.0;
+    for (label, sched) in SchedulingConfig::ablation_ladder() {
+        let r = run(&fx, sched);
+        let qps = r.qps();
+        assert!(
+            qps >= last_qps * 0.98, // tiny tolerance for modelling noise
+            "{label} regressed: {qps} < {last_qps}"
+        );
+        last_qps = qps;
+    }
+}
+
+#[test]
+fn full_stack_gains_are_substantial() {
+    let fx = fixture();
+    let bare = run(&fx, SchedulingConfig::bare());
+    let full = run(&fx, SchedulingConfig::full());
+    let gain = full.qps() / bare.qps();
+    assert!(gain > 1.5, "full stack should clearly beat Bare, gain = {gain}");
+}
+
+#[test]
+fn dynamic_allocating_cuts_page_reads() {
+    let fx = fixture();
+    let mut s = SchedulingConfig::full();
+    s.speculative = false;
+    s.dynamic_allocating = false;
+    let without = run(&fx, s);
+    s.dynamic_allocating = true;
+    let with = run(&fx, s);
+    assert!(with.stats.page_reads < without.stats.page_reads);
+    assert!(with.stats.page_buffer_hits > 0);
+}
+
+#[test]
+fn speculation_trades_pages_for_latency() {
+    let fx = fixture();
+    let mut s = SchedulingConfig::full();
+    s.speculative = false;
+    let without = run(&fx, s);
+    s.speculative = true;
+    let with = run(&fx, s);
+    assert!(with.stats.page_reads > without.stats.page_reads);
+    assert!(with.total_ns <= without.total_ns);
+    let hit_rate = with.speculation.hit_rate();
+    assert!(
+        hit_rate > 0.05 && hit_rate < 0.95,
+        "hit rate {hit_rate} should be partial (paper: over half miss)"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let fx = fixture();
+    let a = run(&fx, SchedulingConfig::full());
+    let b = run(&fx, SchedulingConfig::full());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn luncsr_stays_consistent_under_refresh_storm() {
+    use ndsearch::flash::ftl::Ftl;
+    use ndsearch::vector::rng::Pcg32;
+    let fx = fixture();
+    let prepared = Prepared::stage(&fx.config, &fx.graph, &fx.base, &fx.trace);
+    let mut luncsr = prepared.luncsr.clone();
+    let geom = *luncsr.mapping().geometry();
+    let mut ftl = Ftl::new(geom, 99);
+    let mut rng = Pcg32::seed_from_u64(17);
+    for _ in 0..500 {
+        let plane = rng.index(geom.total_planes() as usize) as u32;
+        let block = rng.index(geom.blocks_per_plane as usize) as u32;
+        for ev in ftl.refresh_block(plane, block) {
+            luncsr.apply_refresh(&ev);
+        }
+    }
+    assert!(luncsr.consistent_with_ftl(&ftl));
+    // The engine can still replay traces against the refreshed layout.
+    let refreshed = Prepared {
+        luncsr,
+        ..prepared
+    };
+    let r = NdsEngine::new(&fx.config).run(&refreshed);
+    assert!(r.total_ns > 0);
+}
