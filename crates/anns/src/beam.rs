@@ -267,7 +267,10 @@ mod tests {
             recalls.push(ndsearch_vector::recall::recall_at_k(&gt, &found, 10));
         }
         assert!(recalls[2] >= recalls[0], "recalls = {recalls:?}");
-        assert!(recalls[2] > 0.5, "ef=64 recall should be decent: {recalls:?}");
+        assert!(
+            recalls[2] > 0.5,
+            "ef=64 recall should be decent: {recalls:?}"
+        );
     }
 
     #[test]
@@ -301,15 +304,7 @@ mod tests {
         let ds = DatasetSpec::sift_scaled(50, 1).build();
         let graph = grid_graph(&ds, 4);
         let mut vs = VisitedSet::new(ds.len());
-        let out = beam_search(
-            &ds,
-            &graph,
-            ds.vector(0),
-            &[],
-            8,
-            DistanceKind::L2,
-            &mut vs,
-        );
+        let out = beam_search(&ds, &graph, ds.vector(0), &[], 8, DistanceKind::L2, &mut vs);
         assert!(out.found.is_empty());
     }
 

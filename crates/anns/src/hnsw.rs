@@ -89,8 +89,8 @@ impl Hnsw {
         let mut upper: Vec<LayerAdj> = (0..max_level).map(|_| LayerAdj::default()).collect();
         let mut entry: VectorId = 0;
         let mut entry_level = levels[0];
-        for l in 0..levels[0].min(max_level) {
-            upper[l].lists.insert(0, Vec::new());
+        for layer in upper.iter_mut().take(levels[0]) {
+            layer.lists.insert(0, Vec::new());
         }
 
         let dist = params.distance;
@@ -165,8 +165,8 @@ impl Hnsw {
             if v_level > entry_level {
                 entry = v;
                 entry_level = v_level;
-                for l in 0..v_level {
-                    upper[l].lists.entry(v).or_default();
+                for layer in upper.iter_mut().take(v_level) {
+                    layer.lists.entry(v).or_default();
                 }
             }
         }
@@ -388,9 +388,9 @@ fn select_neighbors(
         if kept.len() >= m {
             break;
         }
-        let dominated = kept.iter().any(|&s| {
-            dist.eval(base.vector(c.id), base.vector(s.id)) < c.distance
-        });
+        let dominated = kept
+            .iter()
+            .any(|&s| dist.eval(base.vector(c.id), base.vector(s.id)) < c.distance);
         if !dominated {
             kept.push(c);
         }

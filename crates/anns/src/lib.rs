@@ -40,8 +40,8 @@ pub mod hcnng;
 pub mod hnsw;
 pub mod index;
 pub mod togg;
-pub mod tuning;
 pub mod trace;
+pub mod tuning;
 pub mod vamana;
 
 pub use index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};

@@ -41,7 +41,9 @@ impl QueryTrace {
 
     /// All visited vertex ids in order.
     pub fn visited_sequence(&self) -> impl Iterator<Item = VectorId> + '_ {
-        self.iterations.iter().flat_map(|it| it.visited.iter().copied())
+        self.iterations
+            .iter()
+            .flat_map(|it| it.visited.iter().copied())
     }
 }
 
@@ -71,7 +73,11 @@ impl BatchTrace {
     /// Longest per-query iteration count — the number of engine rounds a
     /// synchronous batch needs.
     pub fn max_iterations(&self) -> usize {
-        self.queries.iter().map(|q| q.iterations.len()).max().unwrap_or(0)
+        self.queries
+            .iter()
+            .map(|q| q.iterations.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean visited vertices per query.

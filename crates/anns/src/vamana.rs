@@ -89,10 +89,7 @@ impl Vamana {
                 let q = base.vector(v);
                 // Greedy search the current graph for v's neighborhood.
                 let visited = search_collect(base, &adj, q, medoid, params.l_build, dist);
-                let mut pool: Vec<Neighbor> = visited
-                    .into_iter()
-                    .filter(|nb| nb.id != v)
-                    .collect();
+                let mut pool: Vec<Neighbor> = visited.into_iter().filter(|nb| nb.id != v).collect();
                 // Include current neighbors in the pool.
                 for &nb in &adj[v as usize] {
                     if nb != v && !pool.iter().any(|p| p.id == nb) {
@@ -109,14 +106,10 @@ impl Vamana {
                             let pool: Vec<Neighbor> = adj[nb as usize]
                                 .iter()
                                 .map(|&u| {
-                                    Neighbor::new(
-                                        dist.eval(base.vector(nb), base.vector(u)),
-                                        u,
-                                    )
+                                    Neighbor::new(dist.eval(base.vector(nb), base.vector(u)), u)
                                 })
                                 .collect();
-                            adj[nb as usize] =
-                                robust_prune(base, nb, pool, alpha, params.r, dist);
+                            adj[nb as usize] = robust_prune(base, nb, pool, alpha, params.r, dist);
                         }
                     }
                 }
@@ -270,9 +263,9 @@ fn robust_prune(
         if kept.len() >= r {
             break;
         }
-        let dominated = kept.iter().any(|s| {
-            alpha * dist.eval(base.vector(s.id), base.vector(c.id)) <= c.distance
-        });
+        let dominated = kept
+            .iter()
+            .any(|s| alpha * dist.eval(base.vector(s.id), base.vector(c.id)) <= c.distance);
         if !dominated {
             kept.push(c);
         }

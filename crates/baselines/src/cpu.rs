@@ -113,8 +113,8 @@ impl Platform for CpuPlatform {
         // queries have an I/O outstanding at any instant), so utilization
         // only saturates once batch × occupancy exceeds the queue depth —
         // the Fig. 2a knee near batch 1024.
-        let bw_ns = (io_bytes as f64 / (self.pcie_bytes_per_s * self.pcie_efficiency) * 1e9)
-            .ceil() as Nanos;
+        let bw_ns = (io_bytes as f64 / (self.pcie_bytes_per_s * self.pcie_efficiency) * 1e9).ceil()
+            as Nanos;
         let parallel = ((batch as f64 * self.io_occupancy) as u64).clamp(1, self.queue_depth);
         let lat_ns = misses * self.t_ssd_latency_ns / parallel;
         let io_ns = bw_ns.max(lat_ns);
@@ -218,7 +218,10 @@ mod tests {
         let limited = CpuPlatform::paper_default().report(&s);
         let tb = CpuPlatform::terabyte_dram().report(&s);
         assert_eq!(tb.io_ns, 0);
-        assert!(tb.total_ns < limited.total_ns / 2, "CPU-T should be much faster");
+        assert!(
+            tb.total_ns < limited.total_ns / 2,
+            "CPU-T should be much faster"
+        );
     }
 
     #[test]
@@ -240,6 +243,9 @@ mod tests {
         let small = util(16);
         let big = util(2048);
         assert!(small < 0.3, "small batch util = {small}");
-        assert!(big > 0.7, "large batch util = {big} should approach saturation");
+        assert!(
+            big > 0.7,
+            "large batch util = {big} should approach saturation"
+        );
     }
 }

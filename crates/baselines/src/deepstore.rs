@@ -145,7 +145,9 @@ impl Platform for DeepStorePlatform {
             let mut unit_pages: BTreeMap<(u32, u32), HashSet<u64>> = BTreeMap::new();
             let mut active = 0u64;
             for (qi, t) in prepared.trace.queries.iter().enumerate() {
-                let Some(it) = t.iterations.get(r) else { continue };
+                let Some(it) = t.iterations.get(r) else {
+                    continue;
+                };
                 active += 1;
                 for &v in &it.visited {
                     let addr = luncsr.physical_addr(v);
@@ -172,11 +174,15 @@ impl Platform for DeepStorePlatform {
                 io_bytes += pages.len() as u64 * u64::from(geom.page_bytes);
             }
             let max_loads = per_unit.values().copied().max().unwrap_or(0);
-            let fill = if max_loads > 0 { timing.t_read_page_ns } else { 0 };
+            let fill = if max_loads > 0 {
+                timing.t_read_page_ns
+            } else {
+                0
+            };
             let searching = fill + max_loads * per_page;
             // Embedded-core gathering, as on SearSSD.
-            let gathering = active * timing.t_embedded_op_ns
-                + timing.dram_transfer_ns(active * 256);
+            let gathering =
+                active * timing.t_embedded_op_ns + timing.dram_transfer_ns(active * 256);
             io_ns += searching;
             compute_ns += gathering;
             total += searching + gathering;

@@ -72,8 +72,8 @@ impl Platform for GpuPlatform {
         let miss = self.miss_fraction(scenario);
         let misses = (trace_len as f64 * miss).round() as u64;
         let io_bytes = misses * self.miss_bytes;
-        let io_ns = (io_bytes as f64 / (self.pcie_bytes_per_s * self.link_efficiency) * 1e9)
-            .ceil() as Nanos;
+        let io_ns = (io_bytes as f64 / (self.pcie_bytes_per_s * self.link_efficiency) * 1e9).ceil()
+            as Nanos;
 
         let compute_ns = trace_len * self.t_vertex_ns + self.t_batch_overhead_ns;
         let sort_ns = batch * self.t_sort_per_query_ns;

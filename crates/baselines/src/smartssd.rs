@@ -105,7 +105,11 @@ mod tests {
     use ndsearch_vector::rng::Pcg32;
     use ndsearch_vector::synthetic::{BenchmarkId, DatasetSpec};
 
-    fn fixture(n: usize, batch: usize, per_query: usize) -> (ndsearch_vector::Dataset, Csr, BatchTrace, NdsConfig) {
+    fn fixture(
+        n: usize,
+        batch: usize,
+        per_query: usize,
+    ) -> (ndsearch_vector::Dataset, Csr, BatchTrace, NdsConfig) {
         let base = DatasetSpec::sift_scaled(n, 1).build();
         let graph = Csr::from_adjacency(&vec![Vec::new(); n]).unwrap();
         let mut rng = Pcg32::seed_from_u64(3);

@@ -76,8 +76,7 @@ fn bench_engine(c: &mut Criterion) {
     let prepared = Prepared::stage(&fx.config, fx.index.base_graph(), &fx.base, &fx.trace);
     let mut bare_cfg = fx.config.clone();
     bare_cfg.scheduling = SchedulingConfig::bare();
-    let prepared_bare =
-        Prepared::stage(&bare_cfg, fx.index.base_graph(), &fx.base, &fx.trace);
+    let prepared_bare = Prepared::stage(&bare_cfg, fx.index.base_graph(), &fx.base, &fx.trace);
     let mut g = c.benchmark_group("engine_batch128");
     g.sample_size(20);
     g.bench_function("full_scheduling", |b| {

@@ -3,13 +3,17 @@
 //! datasets. Paper shape: SSD I/O read accounts for ~60–75 % of the total.
 
 use ndsearch_anns::index::AnnsAlgorithm;
-use ndsearch_bench::{build_workload, f, print_table};
 use ndsearch_baselines::{CpuPlatform, Platform};
+use ndsearch_bench::{build_workload, f, print_table};
 use ndsearch_vector::synthetic::BenchmarkId;
 
 fn main() {
     let batches = [1024usize, 2048];
-    let datasets = [BenchmarkId::Sift1B, BenchmarkId::Deep1B, BenchmarkId::SpaceV1B];
+    let datasets = [
+        BenchmarkId::Sift1B,
+        BenchmarkId::Deep1B,
+        BenchmarkId::SpaceV1B,
+    ];
     for algo in [AnnsAlgorithm::Hnsw, AnnsAlgorithm::DiskAnn] {
         let mut rows = Vec::new();
         for bench in datasets {
@@ -27,7 +31,13 @@ fn main() {
         }
         print_table(
             &format!("Fig. 1 ({algo} on CPU): execution time breakdown"),
-            &["dataset", "batch", "SSD I/O read %", "compute+sort %", "recall@10"],
+            &[
+                "dataset",
+                "batch",
+                "SSD I/O read %",
+                "compute+sort %",
+                "recall@10",
+            ],
             &rows,
         );
     }

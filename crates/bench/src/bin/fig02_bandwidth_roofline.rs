@@ -4,8 +4,8 @@
 //! resulting NDSEARCH speedup over CPU.
 
 use ndsearch_anns::index::AnnsAlgorithm;
-use ndsearch_bench::{build_workload, f, print_table};
 use ndsearch_baselines::{CpuPlatform, Platform};
+use ndsearch_bench::{build_workload, f, print_table};
 use ndsearch_flash::{FlashGeometry, FlashTiming};
 use ndsearch_vector::synthetic::BenchmarkId;
 
@@ -34,8 +34,14 @@ fn main() {
     let internal = timing.internal_bandwidth_bytes_per_s(&geom);
     println!("\n== Fig. 2b: roofline lifting ==");
     println!("SSD I/O (PCIe 3.0 x16) bandwidth : {:>8.1} GB/s", 15.4);
-    println!("SearSSD internal bandwidth       : {:>8.1} GB/s", internal / 1e9);
-    println!("lift                             : {:>8.1} x", internal / 15.4e9);
+    println!(
+        "SearSSD internal bandwidth       : {:>8.1} GB/s",
+        internal / 1e9
+    );
+    println!(
+        "lift                             : {:>8.1} x",
+        internal / 15.4e9
+    );
 
     let mut rows = Vec::new();
     for bench in BenchmarkId::ALL {

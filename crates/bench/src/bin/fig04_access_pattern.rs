@@ -48,7 +48,13 @@ fn main() {
     }
     print_table(
         "Fig. 4a: per-query page access pattern (construction order)",
-        &["query", "trace len", "pages", "pages/trace", "useful bytes %"],
+        &[
+            "query",
+            "trace len",
+            "pages",
+            "pages/trace",
+            "useful bytes %",
+        ],
         &rows,
     );
 

@@ -8,7 +8,10 @@ use ndsearch_graph::legacy::LegacyLayout;
 fn main() {
     let mut rows = Vec::new();
     for (name, layout) in [
-        ("paper example (128 B vec, 4 KiB page)", LegacyLayout::paper_example()),
+        (
+            "paper example (128 B vec, 4 KiB page)",
+            LegacyLayout::paper_example(),
+        ),
         (
             "sift-style (128 B vec, 16 KiB page)",
             LegacyLayout {

@@ -46,7 +46,12 @@ fn main() {
         }
         print_table(
             &format!("Fig. 14 ({algo}): static scheduling"),
-            &["dataset", "setting", "page access ratio", "speedup vs w/o re"],
+            &[
+                "dataset",
+                "setting",
+                "page access ratio",
+                "speedup vs w/o re",
+            ],
             &rows,
         );
     }

@@ -6,8 +6,8 @@
 //! stack gains ~4.1× over Bare.
 
 use ndsearch_anns::index::AnnsAlgorithm;
-use ndsearch_bench::{build_workload, env_usize, f, print_table};
 use ndsearch_baselines::{CpuPlatform, DeepStorePlatform, GpuPlatform, Platform};
+use ndsearch_bench::{build_workload, env_usize, f, print_table};
 use ndsearch_core::config::SchedulingConfig;
 use ndsearch_vector::synthetic::BenchmarkId;
 
@@ -22,7 +22,11 @@ fn main() {
 
         let mut rows = vec![
             vec!["CPU".into(), f(cpu.qps() / 1e3, 2), "1.00".into()],
-            vec!["GPU".into(), f(gpu.qps() / 1e3, 2), f(gpu.qps() / cpu.qps(), 2)],
+            vec![
+                "GPU".into(),
+                f(gpu.qps() / 1e3, 2),
+                f(gpu.qps() / cpu.qps(), 2),
+            ],
             vec![
                 "DS-cp".into(),
                 f(dscp.qps() / 1e3, 2),

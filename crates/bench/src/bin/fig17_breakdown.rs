@@ -23,20 +23,17 @@ fn main() {
             rows.push(row);
         }
         let headers: Vec<&str> = std::iter::once("dataset")
-            .chain(
-                [
-                    "NAND %",
-                    "ECC %",
-                    "MAC %",
-                    "DRAM %",
-                    "emb %",
-                    "alloc %",
-                    "bus %",
-                    "bitonic %",
-                    "PCIe %",
-                ]
-                .into_iter(),
-            )
+            .chain([
+                "NAND %",
+                "ECC %",
+                "MAC %",
+                "DRAM %",
+                "emb %",
+                "alloc %",
+                "bus %",
+                "bitonic %",
+                "PCIe %",
+            ])
             .collect();
         print_table(
             &format!("Fig. 17 ({algo}): NDSEARCH execution-time breakdown"),

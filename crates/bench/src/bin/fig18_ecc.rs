@@ -32,7 +32,9 @@ fn main() {
         };
         buckets[idx] += 1;
     }
-    let labels = ["<2.5e-7", "<5e-7", "<1e-6", "<2e-6", "<4e-6", "<8e-6", ">=8e-6"];
+    let labels = [
+        "<2.5e-7", "<5e-7", "<1e-6", "<2e-6", "<4e-6", "<8e-6", ">=8e-6",
+    ];
     let rows: Vec<Vec<String>> = labels
         .iter()
         .zip(buckets.iter())

@@ -29,7 +29,13 @@ fn main() {
         }
         print_table(
             &format!("Fig. 20 ({algo}): energy efficiency"),
-            &["dataset", "platform", "power W", "QPS/W", "NDSEARCH advantage x"],
+            &[
+                "dataset",
+                "platform",
+                "power W",
+                "QPS/W",
+                "NDSEARCH advantage x",
+            ],
             &rows,
         );
     }

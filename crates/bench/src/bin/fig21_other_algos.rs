@@ -6,10 +6,8 @@
 //! over the memory-limited CPU but cannot beat the in-storage designs.
 
 use ndsearch_anns::index::AnnsAlgorithm;
+use ndsearch_baselines::{CpuPlatform, DeepStorePlatform, Platform, SmartSsdPlatform};
 use ndsearch_bench::{build_workload, env_usize, f, print_table};
-use ndsearch_baselines::{
-    CpuPlatform, DeepStorePlatform, Platform, SmartSsdPlatform,
-};
 use ndsearch_vector::synthetic::BenchmarkId;
 
 fn main() {

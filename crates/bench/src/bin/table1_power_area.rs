@@ -36,7 +36,10 @@ fn main() {
     let total_a: f64 = searssd_components().iter().map(|c| c.area_mm2).sum();
     println!("SearSSD logic total      : {total_p:.2} W, {total_a:.2} mm^2");
     println!("FPGA bitonic kernel      : {:.2} W", 7.5);
-    println!("NDSEARCH total           : {:.2} W", power.ndsearch_total_w());
+    println!(
+        "NDSEARCH total           : {:.2} W",
+        power.ndsearch_total_w()
+    );
     println!(
         "within ~55 W PCIe budget : {}",
         if power.within_budget() { "yes" } else { "NO" }
@@ -44,8 +47,14 @@ fn main() {
 
     let area = AreaModel::searssd_default();
     println!("\n== Storage density (§VII-B) ==");
-    println!("base V-NAND density      : {:.2} Gb/mm^2", area.base_density_gb_per_mm2);
-    println!("effective with SiN logic : {:.2} Gb/mm^2", area.effective_density());
+    println!(
+        "base V-NAND density      : {:.2} Gb/mm^2",
+        area.base_density_gb_per_mm2
+    );
+    println!(
+        "effective with SiN logic : {:.2} Gb/mm^2",
+        area.effective_density()
+    );
     println!(
         "degradation              : {:.1} %",
         100.0 * area.density_degradation()

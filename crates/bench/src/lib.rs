@@ -69,11 +69,7 @@ pub fn default_n(benchmark: BenchmarkId) -> usize {
 }
 
 /// Builds a workload: dataset → graph → batch search → traces → recall.
-pub fn build_workload(
-    benchmark: BenchmarkId,
-    algorithm: AnnsAlgorithm,
-    batch: usize,
-) -> Workload {
+pub fn build_workload(benchmark: BenchmarkId, algorithm: AnnsAlgorithm, batch: usize) -> Workload {
     let n = default_n(benchmark);
     let spec = DatasetSpec::for_benchmark(benchmark, n, batch);
     let (base, queries) = spec.build_pair();

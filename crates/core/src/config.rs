@@ -222,7 +222,10 @@ mod tests {
         let c = NdsConfig::scaled_for(20_000, 512);
         let footprint = 20_000u64 * 512;
         let cap = c.geometry.total_capacity_bytes();
-        assert!(cap >= footprint, "capacity {cap} below footprint {footprint}");
+        assert!(
+            cap >= footprint,
+            "capacity {cap} below footprint {footprint}"
+        );
         assert!(
             cap <= footprint * 8,
             "capacity {cap} should be within 8x of footprint {footprint}"

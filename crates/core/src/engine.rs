@@ -130,7 +130,9 @@ impl<'a> NdsEngine<'a> {
             // ---- Collect this round's work from the traces. ----
             let mut filtered: Vec<(u32, VectorId, Vec<VectorId>)> = Vec::new();
             for (qi, t) in traces.iter().enumerate() {
-                let Some(it) = t.iterations.get(r) else { continue };
+                let Some(it) = t.iterations.get(r) else {
+                    continue;
+                };
                 let mut visited = Vec::with_capacity(it.visited.len());
                 for &v in &it.visited {
                     if config.scheduling.speculative && prefetched[qi].remove(&v) {
@@ -169,8 +171,7 @@ impl<'a> NdsEngine<'a> {
                         continue;
                     }
                     let entry = t.iterations[r].entry;
-                    let budget = (luncsr.neighbors(entry).len() as f64
-                        * config.spec_budget_factor)
+                    let budget = (luncsr.neighbors(entry).len() as f64 * config.spec_budget_factor)
                         .round() as usize;
                     let picks = select_prefetch(luncsr, entry, budget, &seen[qi]);
                     for v in picks {
@@ -189,8 +190,8 @@ impl<'a> NdsEngine<'a> {
                 luns_touched.insert(work.lun);
                 let rep = crate::sin::process_lun_work(work, luncsr, config, &mut ecc, &mut stats);
                 let ch = config.geometry.lun_channel(work.lun) as usize;
-                channel_out[ch] +=
-                    timing.channel_transfer_ns(rep.result_bytes) + rep.sense_ops * timing.t_command_ns;
+                channel_out[ch] += timing.channel_transfer_ns(rep.result_bytes)
+                    + rep.sense_ops * timing.t_command_ns;
                 if rep.busy_ns > max_busy {
                     max_busy = rep.busy_ns;
                     max_busy_rep = rep;
@@ -212,8 +213,7 @@ impl<'a> NdsEngine<'a> {
             // ---- Gathering stage. ----
             let active = filtered.len();
             let new_distances: u64 = filtered.iter().map(|(_, _, v)| v.len() as u64).sum();
-            let g_dram =
-                timing.dram_transfer_ns(qpt.gather_traffic_bytes(active, new_distances));
+            let g_dram = timing.dram_transfer_ns(qpt.gather_traffic_bytes(active, new_distances));
             let g_emb = active as u64 * timing.t_embedded_op_ns;
             let gathering_ns = g_dram + g_emb;
 
@@ -256,10 +256,9 @@ impl<'a> NdsEngine<'a> {
                 }
                 if moves > 0 {
                     refreshes += moves / 2; // two block moves per swap
-                    // A block move rewrites every page (read + program).
-                    let t_move = u64::from(config.geometry.pages_per_block)
-                        * 4
-                        * timing.t_read_page_ns;
+                                            // A block move rewrites every page (read + program).
+                    let t_move =
+                        u64::from(config.geometry.pages_per_block) * 4 * timing.t_read_page_ns;
                     let t = moves * t_move;
                     total += t;
                     breakdown.embedded_ns += t;

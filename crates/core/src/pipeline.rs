@@ -36,12 +36,7 @@ impl Prepared {
     /// # Panics
     /// Panics if the dataset size differs from the graph's vertex count or
     /// if the dataset does not fit the configured geometry.
-    pub fn stage(
-        config: &NdsConfig,
-        graph: &Csr,
-        base: &Dataset,
-        trace: &BatchTrace,
-    ) -> Prepared {
+    pub fn stage(config: &NdsConfig, graph: &Csr, base: &Dataset, trace: &BatchTrace) -> Prepared {
         assert_eq!(
             graph.num_vertices(),
             base.len(),

@@ -159,8 +159,7 @@ pub fn process_lun_work(
         plane_vertices.entry(plane).or_default().insert(t.vertex);
     }
     let distances = work.tasks.len() as u64;
-    let lanes_per_plane =
-        (u64::from(config.mac_lanes()) / u64::from(geom.planes_per_lun)).max(1);
+    let lanes_per_plane = (u64::from(config.mac_lanes()) / u64::from(geom.planes_per_lun)).max(1);
     let compute_ns = plane_distances
         .iter()
         .map(|(plane, &d)| {
@@ -262,8 +261,9 @@ mod tests {
         let (lc, cfg) = setup(PlacementPolicy::MultiPlaneAware, false);
         assert_eq!(lc.mapping().plane_of(0), lc.mapping().plane_of(256));
         assert_eq!(lc.lun_of(0), lc.lun_of(256));
-        let tasks: Vec<(u32, VectorId)> =
-            (0..8u32).map(|q| (q, if q % 2 == 0 { 0 } else { 256 })).collect();
+        let tasks: Vec<(u32, VectorId)> = (0..8u32)
+            .map(|q| (q, if q % 2 == 0 { 0 } else { 256 }))
+            .collect();
         let work = work_for(&lc, &cfg, &tasks);
         assert_eq!(work.len(), 1);
         let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);

@@ -95,13 +95,7 @@ mod tests {
     fn prefers_well_connected_second_order() {
         // 0 → {1, 2}; both 1 and 2 → 3; only 1 → 4. Vertex 3 has two
         // connections to the first-order set, 4 has one.
-        let lc = luncsr_from(vec![
-            vec![1, 2],
-            vec![3, 4],
-            vec![3],
-            vec![],
-            vec![],
-        ]);
+        let lc = luncsr_from(vec![vec![1, 2], vec![3, 4], vec![3], vec![], vec![]]);
         let picks = select_prefetch(&lc, 0, 1, &no_seen());
         assert_eq!(picks, vec![3]);
         let picks = select_prefetch(&lc, 0, 10, &no_seen());
@@ -128,6 +122,75 @@ mod tests {
     fn budget_zero_is_empty() {
         let lc = luncsr_from(vec![vec![1], vec![0]]);
         assert!(select_prefetch(&lc, 0, 0, &no_seen()).is_empty());
+    }
+
+    #[test]
+    fn selection_invariants_on_random_graph() {
+        // Pseudo-random graph: picks must be unique, within budget, never
+        // the entry / a first-order neighbor / a seen vertex, and ranked by
+        // nonincreasing connection count with ids breaking ties.
+        let n = 64u32;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let lists: Vec<Vec<VectorId>> = (0..n)
+            .map(|v| {
+                let mut l: Vec<VectorId> = (0..6).map(|_| next() % n).filter(|&m| m != v).collect();
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let lc = luncsr_from(lists.clone());
+        for entry in 0..n {
+            let seen: std::collections::HashSet<VectorId> = (0..4).map(|_| next() % n).collect();
+            for budget in [1usize, 3, 16] {
+                let picks = select_prefetch(&lc, entry, budget, &seen);
+                assert!(picks.len() <= budget);
+                let unique: std::collections::HashSet<_> = picks.iter().collect();
+                assert_eq!(unique.len(), picks.len(), "duplicate prefetch");
+                let first: std::collections::HashSet<VectorId> =
+                    lists[entry as usize].iter().copied().collect();
+                let count = |m: VectorId| {
+                    lists[entry as usize]
+                        .iter()
+                        .filter(|&&f| lists[f as usize].contains(&m))
+                        .count()
+                };
+                for window in picks.windows(2) {
+                    let (a, b) = (count(window[0]), count(window[1]));
+                    assert!(
+                        a > b || (a == b && window[0] < window[1]),
+                        "ranking violated: {window:?} with counts {a}, {b}"
+                    );
+                }
+                for &p in &picks {
+                    assert_ne!(p, entry);
+                    assert!(!first.contains(&p), "first-order vertex prefetched");
+                    assert!(!seen.contains(&p), "seen vertex prefetched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_truncates_by_rank() {
+        // With budget 1 the single pick must equal the head of the
+        // unbounded ranking.
+        let lc = luncsr_from(vec![
+            vec![1, 2, 3],
+            vec![4, 5],
+            vec![4, 5],
+            vec![4],
+            vec![],
+            vec![],
+        ]);
+        let all = select_prefetch(&lc, 0, 10, &no_seen());
+        let one = select_prefetch(&lc, 0, 1, &no_seen());
+        assert_eq!(all, vec![4, 5]);
+        assert_eq!(one, all[..1].to_vec());
     }
 
     #[test]

@@ -67,9 +67,7 @@ mod tests {
     use ndsearch_graph::mapping::{PlacementPolicy, VertexMapping};
 
     fn luncsr(n: usize) -> LunCsr {
-        let lists: Vec<Vec<VectorId>> = (0..n as u32)
-            .map(|v| vec![(v + 1) % n as u32])
-            .collect();
+        let lists: Vec<Vec<VectorId>> = (0..n as u32).map(|v| vec![(v + 1) % n as u32]).collect();
         let csr = Csr::from_adjacency(&lists).unwrap();
         let mapping = VertexMapping::place(
             FlashGeometry::tiny(),

@@ -171,11 +171,7 @@ pub fn multi_lun_sequence(
 /// The page sense (tR) of all LUNs overlaps; command issue and data-out
 /// serialize on the shared channel bus (§III's argument for why chip-level
 /// accelerators under-utilize parallelism).
-pub fn sequence_latency_ns(
-    seq: &[NandCommand],
-    timing: &FlashTiming,
-    op: MultiLunOp,
-) -> Nanos {
+pub fn sequence_latency_ns(seq: &[NandCommand], timing: &FlashTiming, op: MultiLunOp) -> Nanos {
     let mut bus_busy: Nanos = 0;
     let mut sense: Nanos = 0;
     for cmd in seq {

@@ -146,8 +146,7 @@ mod tests {
         let engine = EccEngine::new(&geom, EccConfig::default());
         let bers = engine.plane_bers();
         assert_eq!(bers.len(), 512);
-        let log_mean =
-            bers.iter().map(|b| b.ln()).sum::<f64>() / bers.len() as f64;
+        let log_mean = bers.iter().map(|b| b.ln()).sum::<f64>() / bers.len() as f64;
         let target = 1e-6f64.ln();
         assert!((log_mean - target).abs() < 0.15, "log mean {log_mean}");
         // There is spread (the Fig. 18a histogram is not a spike).

@@ -127,7 +127,7 @@ impl Ftl {
     pub fn note_read(&mut self, plane: PlaneId) -> Vec<RefreshEvent> {
         let reads = &mut self.plane_reads[plane as usize];
         *reads += 1;
-        if self.refresh_read_threshold > 0 && *reads % self.refresh_read_threshold == 0 {
+        if self.refresh_read_threshold > 0 && (*reads).is_multiple_of(self.refresh_read_threshold) {
             let block = self.rng.next_below(u64::from(self.geom.blocks_per_plane)) as u32;
             self.refresh_block(plane, block)
         } else {
@@ -201,6 +201,48 @@ mod tests {
             }
         }
         assert_eq!(events, 10);
+        assert!(ftl.is_bijective());
+    }
+
+    #[test]
+    fn refresh_events_replay_to_the_live_mapping() {
+        // Round-trip: replaying every emitted RefreshEvent onto a shadow
+        // identity map must reproduce the FTL's live logical→physical map
+        // exactly — this is the contract the LUNCSR BLK array relies on.
+        let geom = FlashGeometry::tiny();
+        let mut ftl = Ftl::new(geom, 6);
+        let planes = geom.total_planes() as usize;
+        let blocks = geom.blocks_per_plane;
+        let mut shadow: Vec<Vec<u32>> = vec![(0..blocks).collect(); planes];
+        for i in 0..800u32 {
+            let plane = (i * 7) % geom.total_planes();
+            let block = (i * 13) % blocks;
+            for ev in ftl.refresh_block(plane, block) {
+                assert_eq!(ev.plane, plane, "refresh crossed planes");
+                let entry = &mut shadow[ev.plane as usize][ev.logical_block as usize];
+                assert_eq!(*entry, ev.old_physical, "stale old_physical in event");
+                *entry = ev.new_physical;
+            }
+        }
+        for p in 0..geom.total_planes() {
+            for b in 0..blocks {
+                assert_eq!(
+                    shadow[p as usize][b as usize],
+                    ftl.physical_block(p, b),
+                    "event replay diverged at plane {p} block {b}"
+                );
+            }
+        }
+        assert!(ftl.is_bijective());
+    }
+
+    #[test]
+    fn single_block_plane_refresh_is_a_noop() {
+        let mut geom = FlashGeometry::tiny();
+        geom.blocks_per_plane = 1;
+        let mut ftl = Ftl::new(geom, 7);
+        assert!(ftl.refresh_block(0, 0).is_empty());
+        assert_eq!(ftl.refresh_count(), 0);
         assert!(ftl.is_bijective());
     }
 

@@ -98,7 +98,7 @@ impl FlashGeometry {
                 return Err(format!("{name} must be positive"));
             }
         }
-        if self.planes_per_chip % self.planes_per_lun != 0 {
+        if !self.planes_per_chip.is_multiple_of(self.planes_per_lun) {
             return Err(format!(
                 "planes_per_chip ({}) must be divisible by planes_per_lun ({})",
                 self.planes_per_chip, self.planes_per_lun
@@ -161,7 +161,10 @@ impl FlashGeometry {
     /// # Panics
     /// Panics if `plane_in_lun >= planes_per_lun`.
     pub fn plane_of(&self, lun: LunId, plane_in_lun: u32) -> PlaneId {
-        assert!(plane_in_lun < self.planes_per_lun, "plane index out of range");
+        assert!(
+            plane_in_lun < self.planes_per_lun,
+            "plane index out of range"
+        );
         lun * self.planes_per_lun + plane_in_lun
     }
 

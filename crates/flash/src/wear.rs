@@ -133,6 +133,40 @@ mod tests {
     }
 
     #[test]
+    fn wear_accounting_is_monotone_and_isolated() {
+        // Each note_program bumps exactly the targeted block by one cycle,
+        // and every derived statistic (wear ratio, block BER, mean BER,
+        // max ratio) is nondecreasing in the number of programs.
+        let geom = FlashGeometry::tiny();
+        let mut w = WearModel::new(geom);
+        let mut prev_cycles = 0;
+        let mut prev_ber = w.block_raw_ber(1, 2);
+        let mut prev_mean = w.mean_raw_ber();
+        let mut prev_max = w.max_wear_ratio();
+        for step in 1..=200u32 {
+            w.note_program(1, 2);
+            let cycles = w.pe_cycles(1, 2);
+            assert_eq!(cycles, prev_cycles + 1);
+            assert_eq!(cycles, step);
+            let ber = w.block_raw_ber(1, 2);
+            let mean = w.mean_raw_ber();
+            let max = w.max_wear_ratio();
+            assert!(ber >= prev_ber, "block BER decreased at step {step}");
+            assert!(mean >= prev_mean, "mean BER decreased at step {step}");
+            assert!(max >= prev_max, "max wear decreased at step {step}");
+            prev_cycles = cycles;
+            prev_ber = ber;
+            prev_mean = mean;
+            prev_max = max;
+        }
+        // Untouched blocks stay fresh.
+        assert_eq!(w.pe_cycles(0, 0), 0);
+        assert_eq!(w.pe_cycles(1, 1), 0);
+        assert!((w.block_raw_ber(0, 0) - w.fresh_ber).abs() < 1e-15);
+        assert!((w.wear_ratio(1, 2) - 200.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn refresh_driven_wear_stays_balanced() {
         // Drive wear through the FTL's pseudo-random refresh target choice
         // and check the skew stays bounded (wear leveling).

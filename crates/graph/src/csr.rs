@@ -36,7 +36,10 @@ impl std::fmt::Display for CsrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsrError::NeighborOutOfRange { vertex, neighbor } => {
-                write!(f, "vertex {vertex} references out-of-range neighbor {neighbor}")
+                write!(
+                    f,
+                    "vertex {vertex} references out-of-range neighbor {neighbor}"
+                )
             }
             CsrError::TooManyEdges => write!(f, "edge count exceeds u32 range"),
         }
@@ -87,10 +90,16 @@ impl Csr {
         let mut lists = vec![Vec::new(); n];
         for &(a, b) in edges {
             if (a as usize) >= n {
-                return Err(CsrError::NeighborOutOfRange { vertex: a, neighbor: a });
+                return Err(CsrError::NeighborOutOfRange {
+                    vertex: a,
+                    neighbor: a,
+                });
             }
             if (b as usize) >= n {
-                return Err(CsrError::NeighborOutOfRange { vertex: a, neighbor: b });
+                return Err(CsrError::NeighborOutOfRange {
+                    vertex: a,
+                    neighbor: b,
+                });
             }
             lists[a as usize].push(b);
             if undirected {

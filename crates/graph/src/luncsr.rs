@@ -113,7 +113,9 @@ impl LunCsr {
     /// Neighbors of `v` together with their LUNs — what the Vgenerator's
     /// OFS/NBR/LUN fetch pipeline produces.
     pub fn neighbor_luns(&self, v: VectorId) -> impl Iterator<Item = (VectorId, LunId)> + '_ {
-        self.neighbors(v).iter().map(move |&nb| (nb, self.lun_of(nb)))
+        self.neighbors(v)
+            .iter()
+            .map(move |&nb| (nb, self.lun_of(nb)))
     }
 
     /// Applies a block-level refresh event: every vertex whose data lived
@@ -121,10 +123,7 @@ impl LunCsr {
     /// the "bijection (update after refreshing)" arrow in Fig. 5(b).
     /// Returns how many vertices were touched.
     pub fn apply_refresh(&mut self, event: &RefreshEvent) -> usize {
-        let Some(vertices) = self
-            .by_plane_block
-            .get(&(event.plane, event.logical_block))
-        else {
+        let Some(vertices) = self.by_plane_block.get(&(event.plane, event.logical_block)) else {
             return 0;
         };
         for &v in vertices {
@@ -226,8 +225,9 @@ mod tests {
         // Physical addresses remain valid.
         for v in 0..lc.num_vertices() as u32 {
             let a = lc.physical_addr(v);
-            assert!(PhysAddr::checked(&geom, a.lun, a.plane_in_lun, a.block, a.page, a.byte)
-                .is_ok());
+            assert!(
+                PhysAddr::checked(&geom, a.lun, a.plane_in_lun, a.block, a.page, a.byte).is_ok()
+            );
         }
     }
 
@@ -253,12 +253,7 @@ mod tests {
     #[should_panic(expected = "mapping must place every vertex")]
     fn mismatched_sizes_panic() {
         let csr = Csr::from_adjacency(&[vec![], vec![]]).unwrap();
-        let mapping = VertexMapping::place(
-            FlashGeometry::tiny(),
-            5,
-            128,
-            PlacementPolicy::Linear,
-        );
+        let mapping = VertexMapping::place(FlashGeometry::tiny(), 5, 128, PlacementPolicy::Linear);
         LunCsr::new(csr, mapping);
     }
 }

@@ -349,7 +349,12 @@ mod tests {
     fn overflow_panics() {
         let g = tiny();
         let capacity = g.total_pages() * (g.page_bytes / 128) as u64;
-        VertexMapping::place(g, capacity as usize + 1, 128, PlacementPolicy::MultiPlaneAware);
+        VertexMapping::place(
+            g,
+            capacity as usize + 1,
+            128,
+            PlacementPolicy::MultiPlaneAware,
+        );
     }
 
     #[test]

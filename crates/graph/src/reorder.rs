@@ -345,9 +345,7 @@ mod tests {
         let g = Csr::from_edges(n, &edges, true).unwrap();
         let shuffled = g.relabel(&ReorderMethod::RandomShuffle.permutation(&g, 42));
         let before = bandwidth(&shuffled);
-        let ours = shuffled.relabel(
-            &ReorderMethod::DegreeAscendingBfs.permutation(&shuffled, 0),
-        );
+        let ours = shuffled.relabel(&ReorderMethod::DegreeAscendingBfs.permutation(&shuffled, 0));
         let after = bandwidth(&ours);
         assert!(
             after < before * 0.5,
@@ -365,9 +363,8 @@ mod tests {
         let mut random_sum = 0.0;
         let runs = 20;
         for s in 0..runs {
-            random_sum += bandwidth(
-                &shuffled.relabel(&ReorderMethod::RandomBfs.permutation(&shuffled, s)),
-            );
+            random_sum +=
+                bandwidth(&shuffled.relabel(&ReorderMethod::RandomBfs.permutation(&shuffled, s)));
         }
         let random_avg = random_sum / runs as f64;
         assert!(

@@ -90,7 +90,7 @@ impl Dataset {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim
@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn permute_gather_moves_vectors() {
-        let mut ds =
-            Dataset::from_rows(1, vec![vec![10.0], vec![11.0], vec![12.0]]).unwrap();
+        let mut ds = Dataset::from_rows(1, vec![vec![10.0], vec![11.0], vec![12.0]]).unwrap();
         ds.permute_gather(&[2, 0, 1]);
         assert_eq!(ds.vector(0), &[12.0]);
         assert_eq!(ds.vector(1), &[10.0]);

@@ -25,8 +25,11 @@ pub enum DistanceKind {
 
 impl DistanceKind {
     /// All supported kinds, in encoding order.
-    pub const ALL: [DistanceKind; 3] =
-        [DistanceKind::L2, DistanceKind::Angular, DistanceKind::InnerProduct];
+    pub const ALL: [DistanceKind; 3] = [
+        DistanceKind::L2,
+        DistanceKind::Angular,
+        DistanceKind::InnerProduct,
+    ];
 
     /// Evaluates the distance between two equal-length vectors.
     ///

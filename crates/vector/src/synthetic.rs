@@ -128,7 +128,7 @@ impl DatasetSpec {
             cluster_stddev: 1.0,
             bridge_fraction: 0.05,
             element_bytes: 4,
-            seed: 0x6C0_7E,
+            seed: 0x0006_C07E,
         }
     }
 
@@ -199,7 +199,7 @@ impl DatasetSpec {
             cluster_stddev: 1.1,
             bridge_fraction: 0.05,
             element_bytes: 1,
-            seed: 0x5BA_CE,
+            seed: 0x0005_BACE,
         }
     }
 
@@ -246,9 +246,9 @@ impl DatasetSpec {
         // Background (bridge) points interpolate between two random
         // cluster centers, landing in the in-between space that connects
         // modes in real corpora.
-        let bridge_sigma =
-            (self.cluster_stddev * self.cluster_stddev + self.center_spread * self.center_spread)
-                .sqrt();
+        let bridge_sigma = (self.cluster_stddev * self.cluster_stddev
+            + self.center_spread * self.center_spread)
+            .sqrt();
         for _ in 0..count {
             if rng.chance(self.bridge_fraction) {
                 let a = &centers[rng.index(self.clusters)];

@@ -23,7 +23,11 @@ fn main() {
     let n = 5000;
     let spec = DatasetSpec::deep_scaled(n, 512);
     let (corpus, prompts) = spec.build_pair();
-    println!("RAG corpus: {} passages x {}-d embeddings", corpus.len(), corpus.dim());
+    println!(
+        "RAG corpus: {} passages x {}-d embeddings",
+        corpus.len(),
+        corpus.dim()
+    );
 
     // DiskANN index — the standard choice for SSD-resident corpora.
     let index = Vamana::build(&corpus, VamanaParams::default());

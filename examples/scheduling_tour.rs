@@ -30,12 +30,17 @@ fn main() {
     let perm = ndsearch::graph::reorder::ReorderMethod::DegreeAscendingBfs.permutation(g, 0);
     let beta_ours = bandwidth(&g.relabel(&perm));
     println!("construction order : β = {beta_orig:.1}");
-    println!("degree-asc BFS     : β = {beta_ours:.1}  ({:.1}% lower)",
-        100.0 * (1.0 - beta_ours / beta_orig));
+    println!(
+        "degree-asc BFS     : β = {beta_ours:.1}  ({:.1}% lower)",
+        100.0 * (1.0 - beta_ours / beta_orig)
+    );
 
     // The full ablation ladder.
     println!("\n== Ablation ladder (Fig. 16) ==");
-    println!("{:<12} {:>9} {:>18} {:>12} {:>10}", "config", "kQPS", "page access ratio", "page reads", "spec hit%");
+    println!(
+        "{:<12} {:>9} {:>18} {:>12} {:>10}",
+        "config", "kQPS", "page access ratio", "page reads", "spec hit%"
+    );
     for (label, sched) in SchedulingConfig::ablation_ladder() {
         let config = NdsConfig {
             scheduling: sched,

@@ -117,13 +117,19 @@ fn breakdown_is_complete_and_nand_led() {
         .find(|(l, _)| *l == "NAND read")
         .map(|(_, f)| *f)
         .expect("bucket exists");
-    assert!(nand > 0.10, "NAND read fraction {nand} should be significant");
+    assert!(
+        nand > 0.10,
+        "NAND read fraction {nand} should be significant"
+    );
     let pcie = fractions
         .iter()
         .find(|(l, _)| *l == "SSD I/O (PCIe)")
         .map(|(_, f)| *f)
         .unwrap();
-    assert!(pcie < 0.25, "PCIe fraction {pcie} must be small (paper ~6%)");
+    assert!(
+        pcie < 0.25,
+        "PCIe fraction {pcie} must be small (paper ~6%)"
+    );
 }
 
 /// Table I / §VII-B: power budget and storage density arithmetic.

@@ -77,7 +77,10 @@ fn billion_scale_ordering_matches_fig13() {
     assert!(nds_ns < by_name("DS-cp"), "NDSEARCH must beat DS-cp");
     assert!(by_name("DS-cp") < by_name("DS-c"), "DS-cp must beat DS-c");
     assert!(by_name("DS-c") < by_name("CPU"), "DS-c must beat CPU");
-    assert!(by_name("SmartSSD") < by_name("CPU"), "SmartSSD must beat CPU");
+    assert!(
+        by_name("SmartSSD") < by_name("CPU"),
+        "SmartSSD must beat CPU"
+    );
     assert!(by_name("GPU") < by_name("CPU"), "GPU must beat CPU");
     // And the headline: order-of-magnitude class advantage over CPU.
     let ratio = by_name("CPU") as f64 / nds_ns as f64;

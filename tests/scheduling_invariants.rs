@@ -71,7 +71,10 @@ fn full_stack_gains_are_substantial() {
     let bare = run(&fx, SchedulingConfig::bare());
     let full = run(&fx, SchedulingConfig::full());
     let gain = full.qps() / bare.qps();
-    assert!(gain > 1.5, "full stack should clearly beat Bare, gain = {gain}");
+    assert!(
+        gain > 1.5,
+        "full stack should clearly beat Bare, gain = {gain}"
+    );
 }
 
 #[test]
@@ -131,10 +134,7 @@ fn luncsr_stays_consistent_under_refresh_storm() {
     }
     assert!(luncsr.consistent_with_ftl(&ftl));
     // The engine can still replay traces against the refreshed layout.
-    let refreshed = Prepared {
-        luncsr,
-        ..prepared
-    };
+    let refreshed = Prepared { luncsr, ..prepared };
     let r = NdsEngine::new(&fx.config).run(&refreshed);
     assert!(r.total_ns > 0);
 }
