@@ -71,6 +71,111 @@ pub struct BeamResult {
     pub trace: QueryTrace,
 }
 
+/// What expanding the next candidate produced.
+enum Expansion {
+    /// Termination condition reached (or the candidate list ran dry).
+    Finished,
+    /// A candidate was expanded but every neighbor was already visited, so
+    /// no feature vector was fetched (no trace iteration).
+    Empty,
+    /// A candidate was expanded and at least one new vector was fetched.
+    Hop(IterationTrace),
+}
+
+/// Mutable view over one search's candidate list, result list and visited
+/// set — borrowed by [`beam_search`] from its locals, and by
+/// [`BeamSearcher::step`] from its fields.
+struct Lists<'a> {
+    visited: &'a mut VisitedSet,
+    candidates: &'a mut BinaryHeap<Reverse<Neighbor>>,
+    results: &'a mut BinaryHeap<Neighbor>,
+}
+
+impl Lists<'_> {
+    /// Seeds the candidate/result lists with the entry vertices and
+    /// returns iteration 0 of the trace (the entries count as
+    /// visited/computed), or `None` if no entry was new.
+    fn seed(
+        &mut self,
+        dataset: &Dataset,
+        query: &[f32],
+        entries: &[VectorId],
+        beam_width: usize,
+        distance: DistanceKind,
+    ) -> Option<IterationTrace> {
+        let mut init_visited = Vec::with_capacity(entries.len());
+        for &e in entries {
+            if self.visited.insert(e) {
+                let d = distance.eval(query, dataset.vector(e));
+                self.candidates.push(Reverse(Neighbor::new(d, e)));
+                self.results.push(Neighbor::new(d, e));
+                init_visited.push(e);
+            }
+        }
+        while self.results.len() > beam_width {
+            self.results.pop();
+        }
+        (!init_visited.is_empty()).then(|| IterationTrace {
+            entry: init_visited[0],
+            visited: init_visited,
+        })
+    }
+
+    /// Pops the closest candidate and expands its neighbor list — the loop
+    /// body of §II-A, shared by the run-to-completion [`beam_search`] and
+    /// the per-hop [`BeamSearcher`].
+    fn expand_next(
+        &mut self,
+        dataset: &Dataset,
+        graph: &Csr,
+        query: &[f32],
+        beam_width: usize,
+        distance: DistanceKind,
+    ) -> Expansion {
+        let Some(Reverse(current)) = self.candidates.pop() else {
+            return Expansion::Finished;
+        };
+        // Termination: closest candidate is farther than the worst result
+        // while the result list is full (§II-A's pre-defined condition).
+        let worst = self
+            .results
+            .peek()
+            .map(|n| n.distance)
+            .unwrap_or(f32::INFINITY);
+        if self.results.len() >= beam_width && current.distance > worst {
+            return Expansion::Finished;
+        }
+        let mut iter_visited = Vec::new();
+        for &nb in graph.neighbors(current.id) {
+            if !self.visited.insert(nb) {
+                continue;
+            }
+            let d = distance.eval(query, dataset.vector(nb));
+            iter_visited.push(nb);
+            let worst = self
+                .results
+                .peek()
+                .map(|n| n.distance)
+                .unwrap_or(f32::INFINITY);
+            if self.results.len() < beam_width || d < worst {
+                self.candidates.push(Reverse(Neighbor::new(d, nb)));
+                self.results.push(Neighbor::new(d, nb));
+                if self.results.len() > beam_width {
+                    self.results.pop();
+                }
+            }
+        }
+        if iter_visited.is_empty() {
+            Expansion::Empty
+        } else {
+            Expansion::Hop(IterationTrace {
+                entry: current.id,
+                visited: iter_visited,
+            })
+        }
+    }
+}
+
 /// Greedy beam search over `graph` from `entries`, retaining the best
 /// `beam_width` results.
 ///
@@ -94,65 +199,180 @@ pub fn beam_search(
     let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
     let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
 
+    let mut lists = Lists {
+        visited,
+        candidates: &mut candidates,
+        results: &mut results,
+    };
+
     // The initial entry vertices count as visited/computed: record them as
     // iteration 0 with a synthetic entry (the first entry vertex).
-    let mut init_visited = Vec::with_capacity(entries.len());
-    for &e in entries {
-        if visited.insert(e) {
-            let d = distance.eval(query, dataset.vector(e));
-            candidates.push(Reverse(Neighbor::new(d, e)));
-            results.push(Neighbor::new(d, e));
-            init_visited.push(e);
-        }
-    }
-    while results.len() > beam_width {
-        results.pop();
-    }
-    if init_visited.is_empty() {
+    let Some(seed) = lists.seed(dataset, query, entries, beam_width, distance) else {
         return BeamResult {
             found: Vec::new(),
             trace,
         };
-    }
-    trace.iterations.push(IterationTrace {
-        entry: init_visited[0],
-        visited: init_visited,
-    });
+    };
+    trace.iterations.push(seed);
 
-    while let Some(Reverse(current)) = candidates.pop() {
-        // Termination: closest candidate is farther than the worst result
-        // while the result list is full (§II-A's pre-defined condition).
-        let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
-        if results.len() >= beam_width && current.distance > worst {
-            break;
-        }
-        let mut iter_visited = Vec::new();
-        for &nb in graph.neighbors(current.id) {
-            if !visited.insert(nb) {
-                continue;
-            }
-            let d = distance.eval(query, dataset.vector(nb));
-            iter_visited.push(nb);
-            let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
-            if results.len() < beam_width || d < worst {
-                candidates.push(Reverse(Neighbor::new(d, nb)));
-                results.push(Neighbor::new(d, nb));
-                if results.len() > beam_width {
-                    results.pop();
-                }
-            }
-        }
-        if !iter_visited.is_empty() {
-            trace.iterations.push(IterationTrace {
-                entry: current.id,
-                visited: iter_visited,
-            });
+    loop {
+        match lists.expand_next(dataset, graph, query, beam_width, distance) {
+            Expansion::Finished => break,
+            Expansion::Empty => {}
+            Expansion::Hop(it) => trace.iterations.push(it),
         }
     }
 
     let mut found = results.into_vec();
     found.sort_unstable();
     BeamResult { found, trace }
+}
+
+/// A beam search that yields one *hop* (one trace iteration: an entry
+/// vertex expansion that fetched at least one new feature vector) per
+/// [`step`](BeamSearcher::step) call, instead of running to completion.
+///
+/// This is the execution model the concurrent serving layer
+/// (`ndsearch-core`'s `serve` module) needs: many in-flight queries each
+/// hold a `BeamSearcher`, and a scheduler interleaves their hops across
+/// flash channels. Driving a `BeamSearcher` to exhaustion visits exactly
+/// the vertices, produces exactly the trace iterations, and returns exactly
+/// the result list of a single [`beam_search`] call with the same
+/// arguments.
+///
+/// Unlike [`beam_search`] (which shares a caller-provided [`VisitedSet`]
+/// across a batch), each `BeamSearcher` owns its visited set, because
+/// interleaved queries are all mid-flight at once.
+#[derive(Debug, Clone)]
+pub struct BeamSearcher {
+    query: Vec<f32>,
+    entries: Vec<VectorId>,
+    beam_width: usize,
+    distance: DistanceKind,
+    visited: VisitedSet,
+    candidates: BinaryHeap<Reverse<Neighbor>>,
+    results: BinaryHeap<Neighbor>,
+    seeded: bool,
+    finished: bool,
+    hops: usize,
+}
+
+impl BeamSearcher {
+    /// Creates a searcher for one query over a graph of `num_vertices`
+    /// vertices, starting from `entries`.
+    ///
+    /// # Panics
+    /// Panics if `beam_width == 0`.
+    pub fn new(
+        num_vertices: usize,
+        query: Vec<f32>,
+        entries: Vec<VectorId>,
+        beam_width: usize,
+        distance: DistanceKind,
+    ) -> Self {
+        assert!(beam_width > 0, "beam width must be positive");
+        Self {
+            query,
+            entries,
+            beam_width,
+            distance,
+            visited: VisitedSet::new(num_vertices),
+            candidates: BinaryHeap::new(),
+            results: BinaryHeap::new(),
+            seeded: false,
+            finished: false,
+            hops: 0,
+        }
+    }
+
+    /// Advances the search by one hop and returns its trace iteration, or
+    /// `None` if the search has terminated. The first call seeds the entry
+    /// vertices (iteration 0); candidate expansions whose neighbors were
+    /// all already visited are skipped internally, so every `Some` fetches
+    /// at least one vector. Termination is detected eagerly: after the
+    /// final productive hop, [`is_finished`](Self::is_finished) is already
+    /// `true`.
+    pub fn step(&mut self, dataset: &Dataset, graph: &Csr) -> Option<IterationTrace> {
+        if self.finished {
+            return None;
+        }
+        let mut lists = Lists {
+            visited: &mut self.visited,
+            candidates: &mut self.candidates,
+            results: &mut self.results,
+        };
+        if !self.seeded {
+            self.seeded = true;
+            let seed = lists.seed(
+                dataset,
+                &self.query,
+                &self.entries,
+                self.beam_width,
+                self.distance,
+            );
+            return match seed {
+                None => {
+                    self.finished = true;
+                    None
+                }
+                Some(it) => {
+                    self.hops += 1;
+                    self.update_finished();
+                    Some(it)
+                }
+            };
+        }
+        loop {
+            match lists.expand_next(dataset, graph, &self.query, self.beam_width, self.distance) {
+                Expansion::Finished => {
+                    self.finished = true;
+                    return None;
+                }
+                Expansion::Empty => {}
+                Expansion::Hop(it) => {
+                    self.hops += 1;
+                    self.update_finished();
+                    return Some(it);
+                }
+            }
+        }
+    }
+
+    /// Checks §II-A's termination condition without popping, so a query is
+    /// known-finished in the same scheduling round as its last hop.
+    fn update_finished(&mut self) {
+        let worst = self
+            .results
+            .peek()
+            .map(|n| n.distance)
+            .unwrap_or(f32::INFINITY);
+        match self.candidates.peek() {
+            None => self.finished = true,
+            Some(Reverse(c)) if self.results.len() >= self.beam_width && c.distance > worst => {
+                self.finished = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the search has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Hops (productive trace iterations) executed so far.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// The current result list, ascending by distance (the final top-`ef`
+    /// once [`is_finished`](Self::is_finished); a partial best-so-far view
+    /// before that, e.g. for deadline-expired queries).
+    pub fn found(&self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.results.iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// Pure greedy descent (beam width 1) used by HNSW's upper layers: walks to
@@ -297,6 +517,103 @@ mod tests {
             let d = DistanceKind::L2.eval(&q, ds.vector(nb));
             assert!(d >= end.distance);
         }
+    }
+
+    #[test]
+    fn stepwise_search_matches_run_to_completion() {
+        let (base, queries) = unimodal(400, 6).build_pair();
+        let graph = grid_graph(&base, 8);
+        let mut vs = VisitedSet::new(base.len());
+        for (_, q) in queries.iter() {
+            let whole = beam_search(&base, &graph, q, &[0, 9], 16, DistanceKind::L2, &mut vs);
+            let mut stepper =
+                BeamSearcher::new(base.len(), q.to_vec(), vec![0, 9], 16, DistanceKind::L2);
+            let mut iterations = Vec::new();
+            while let Some(it) = stepper.step(&base, &graph) {
+                iterations.push(it);
+            }
+            assert!(stepper.is_finished());
+            assert_eq!(iterations, whole.trace.iterations, "trace must match");
+            assert_eq!(stepper.found(), whole.found, "results must match");
+            assert_eq!(stepper.hops(), whole.trace.iterations.len());
+        }
+    }
+
+    #[test]
+    fn interleaved_searchers_are_independent() {
+        // Stepping two searchers in lockstep must give the same outcome as
+        // running each alone — the serving engine relies on this.
+        let (base, queries) = unimodal(300, 2).build_pair();
+        let graph = grid_graph(&base, 6);
+        let mk = |qi: u32| {
+            BeamSearcher::new(
+                base.len(),
+                queries.vector(qi).to_vec(),
+                vec![0],
+                8,
+                DistanceKind::L2,
+            )
+        };
+        let mut a = mk(0);
+        let mut b = mk(1);
+        while !(a.is_finished() && b.is_finished()) {
+            a.step(&base, &graph);
+            b.step(&base, &graph);
+        }
+        let mut vs = VisitedSet::new(base.len());
+        let ra = beam_search(
+            &base,
+            &graph,
+            queries.vector(0),
+            &[0],
+            8,
+            DistanceKind::L2,
+            &mut vs,
+        );
+        let rb = beam_search(
+            &base,
+            &graph,
+            queries.vector(1),
+            &[0],
+            8,
+            DistanceKind::L2,
+            &mut vs,
+        );
+        assert_eq!(a.found(), ra.found);
+        assert_eq!(b.found(), rb.found);
+    }
+
+    #[test]
+    fn searcher_finishes_eagerly_and_steps_after_finish_are_none() {
+        let ds = DatasetSpec::sift_scaled(100, 1).build();
+        let graph = grid_graph(&ds, 4);
+        let mut s = BeamSearcher::new(
+            ds.len(),
+            ds.vector(3).to_vec(),
+            vec![3],
+            4,
+            DistanceKind::L2,
+        );
+        while s.step(&ds, &graph).is_some() {}
+        assert!(s.is_finished());
+        assert!(s.step(&ds, &graph).is_none());
+        assert!(!s.found().is_empty());
+    }
+
+    #[test]
+    fn searcher_with_no_entries_finishes_immediately() {
+        let ds = DatasetSpec::sift_scaled(50, 1).build();
+        let graph = grid_graph(&ds, 4);
+        let mut s = BeamSearcher::new(
+            ds.len(),
+            ds.vector(0).to_vec(),
+            Vec::new(),
+            8,
+            DistanceKind::L2,
+        );
+        assert!(s.step(&ds, &graph).is_none());
+        assert!(s.is_finished());
+        assert!(s.found().is_empty());
     }
 
     #[test]

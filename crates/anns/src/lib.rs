@@ -14,7 +14,10 @@
 //! plus the shared machinery:
 //!
 //! * [`beam`] — the candidate-list/result-list greedy kernel of §II-A, the
-//!   common core of every graph-traversal ANNS search;
+//!   common core of every graph-traversal ANNS search, in two forms: the
+//!   run-to-completion [`beam::beam_search`] used by batch search, and the
+//!   resumable [`beam::BeamSearcher`] that yields one hop per step so the
+//!   serving layer can interleave many in-flight queries;
 //! * [`trace`] — per-query, per-iteration visited-vertex traces;
 //! * [`bitonic`] — the bitonic sorting network offloaded to the FPGA in
 //!   NDSEARCH, with comparator/stage counts for the timing model;
@@ -32,6 +35,8 @@
 //! assert_eq!(out.results.len(), 4);
 //! assert!(out.trace.total_visited() > 0);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod beam;
 pub mod bitonic;

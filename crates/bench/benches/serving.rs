@@ -1,0 +1,114 @@
+//! Criterion benchmarks for the concurrent serving layer: a closed batch
+//! of 64 sessions at several in-flight caps, and the per-hop resumable
+//! beam searcher against the run-to-completion kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ndsearch_anns::beam::{beam_search, BeamSearcher, VisitedSet};
+use ndsearch_anns::index::GraphAnnsIndex;
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::pipeline::Prepared;
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine};
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::DistanceKind;
+
+struct Fixture {
+    base: ndsearch_vector::Dataset,
+    queries: ndsearch_vector::Dataset,
+    index: Vamana,
+    config: NdsConfig,
+    prepared: Prepared,
+}
+
+fn fixture() -> Fixture {
+    let (base, queries) = DatasetSpec::sift_scaled(1500, 64).build_pair();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let prepared = Prepared::stage(&config, index.base_graph(), &base, &BatchTrace::default());
+    Fixture {
+        base,
+        queries,
+        index,
+        config,
+        prepared,
+    }
+}
+
+fn bench_serve_concurrency(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("serve_64_queries");
+    for inflight in [1usize, 16, 64] {
+        g.bench_function(format!("inflight_{inflight}"), |b| {
+            b.iter(|| {
+                let serve = ServeConfig {
+                    max_inflight: inflight,
+                    ..ServeConfig::default()
+                };
+                let mut engine = ServeEngine::new(
+                    &fx.config,
+                    serve,
+                    &fx.prepared,
+                    &fx.base,
+                    fx.index.base_graph(),
+                );
+                for (_, q) in fx.queries.iter() {
+                    engine.submit(QueryRequest::at(0, q.to_vec(), vec![fx.index.medoid()]));
+                }
+                let report = engine.run_to_completion();
+                black_box(report.qps())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stepwise_vs_whole_beam(c: &mut Criterion) {
+    let fx = fixture();
+    let graph = fx.index.base_graph();
+    c.bench_function("beam_searcher_stepwise", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % fx.queries.len();
+            let mut s = BeamSearcher::new(
+                fx.base.len(),
+                fx.queries.vector(qi as u32).to_vec(),
+                vec![fx.index.medoid()],
+                64,
+                DistanceKind::L2,
+            );
+            let mut hops = 0usize;
+            while s.step(&fx.base, graph).is_some() {
+                hops += 1;
+            }
+            black_box((hops, s.found().len()))
+        })
+    });
+    c.bench_function("beam_search_whole", |b| {
+        let mut visited = VisitedSet::new(fx.base.len());
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % fx.queries.len();
+            let out = beam_search(
+                &fx.base,
+                graph,
+                black_box(fx.queries.vector(qi as u32)),
+                &[fx.index.medoid()],
+                64,
+                DistanceKind::L2,
+                &mut visited,
+            );
+            black_box(out.found.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_serve_concurrency,
+    bench_stepwise_vs_whole_beam
+);
+criterion_main!(benches);

@@ -29,15 +29,183 @@ use ndsearch_anns::trace::QueryTrace;
 use ndsearch_flash::ecc::EccEngine;
 use ndsearch_flash::stats::FlashStats;
 use ndsearch_flash::timing::Nanos;
+use ndsearch_graph::luncsr::LunCsr;
 use ndsearch_vector::VectorId;
 
-use crate::alloc::Allocator;
+use crate::alloc::{Allocator, LunWork};
 use crate::config::NdsConfig;
 use crate::pipeline::Prepared;
 use crate::qpt::QueryPropertyTable;
 use crate::report::{LatencyBreakdown, NdsReport};
 use crate::speculative::{select_prefetch, SpeculationStats};
 use crate::vgen::Vgenerator;
+
+/// Latency contributions of one Allocating → Searching → Gathering round.
+///
+/// `allocating_ns` is the *raw* stage latency; whether it lands on the
+/// critical path (or is hidden behind the previous round's shadow under
+/// dynamic allocating) is the caller's decision, because the batch engine
+/// and the serving scheduler overlap rounds differently.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RoundOutcome {
+    /// Vgenerator + Allocator latency (pre-overlap).
+    pub allocating_ns: Nanos,
+    /// Slowest LUN busy time + busiest channel data-out.
+    pub searching_ns: Nanos,
+    /// QPT update traffic + embedded-core bookkeeping.
+    pub gathering_ns: Nanos,
+    /// Busiest channel data-out (the `bus` breakdown bucket).
+    pub bus_ns: Nanos,
+    /// Gathering DRAM traffic.
+    pub dram_ns: Nanos,
+    /// Gathering embedded-core time.
+    pub embedded_ns: Nanos,
+    /// Slowest LUN: NAND sensing.
+    pub nand_read_ns: Nanos,
+    /// Slowest LUN: ECC decode.
+    pub ecc_ns: Nanos,
+    /// Slowest LUN: page-buffer streaming + MAC compute.
+    pub compute_ns: Nanos,
+    /// The dispatched per-LUN work (the engine's refresh path replays the
+    /// touched planes through the FTL).
+    pub work: Vec<LunWork>,
+}
+
+impl RoundOutcome {
+    /// Folds this round into the latency breakdown and the
+    /// dynamic-allocating shadow, returning the round's critical-path
+    /// time. With `overlap` set, the Allocating stage hides behind the
+    /// previous round's Searching+Gathering shadow (§VI-B1) and only its
+    /// overhang lands on the path; `prev_shadow` is updated to this
+    /// round's shadow either way.
+    pub fn apply(
+        &self,
+        breakdown: &mut LatencyBreakdown,
+        prev_shadow: &mut Nanos,
+        overlap: bool,
+    ) -> Nanos {
+        let alloc_on_path = if overlap {
+            self.allocating_ns.saturating_sub(*prev_shadow)
+        } else {
+            self.allocating_ns
+        };
+        *prev_shadow = self.searching_ns + self.gathering_ns;
+        breakdown.allocating_ns += alloc_on_path;
+        breakdown.bus_ns += self.bus_ns;
+        breakdown.dram_ns += self.dram_ns;
+        breakdown.embedded_ns += self.embedded_ns;
+        // Decompose the slowest LUN's busy time.
+        breakdown.nand_read_ns += self.nand_read_ns;
+        breakdown.ecc_ns += self.ecc_ns;
+        breakdown.compute_ns += self.compute_ns;
+        alloc_on_path + self.searching_ns + self.gathering_ns
+    }
+}
+
+/// Executes one engine round — the Allocating, Searching and Gathering
+/// stages of Algorithm 1 — for `entries` = (query slot, entry vertex,
+/// unvisited neighbors), against the staged LUNCSR.
+///
+/// This is the hot path shared by the run-to-completion batch engine
+/// ([`NdsEngine`]) and the interleaved multi-query scheduler
+/// ([`crate::serve::ServeEngine`]).
+pub(crate) fn execute_round(
+    config: &NdsConfig,
+    luncsr: &LunCsr,
+    qpt: &QueryPropertyTable,
+    entries: &[(u32, VectorId, &[VectorId])],
+    ecc: &mut EccEngine,
+    stats: &mut FlashStats,
+    luns_touched: &mut HashSet<u32>,
+) -> RoundOutcome {
+    let timing = &config.timing;
+
+    // ---- Allocating stage. ----
+    let vgen_out = Vgenerator.run(luncsr, timing, entries);
+    let alloc_out = Allocator.dispatch(luncsr, timing, &vgen_out.triples, false);
+    let allocating_ns = vgen_out.latency_ns + alloc_out.latency_ns;
+
+    // ---- Searching stage: all LUN accelerators in parallel. ----
+    let channels = config.geometry.channels as usize;
+    let mut channel_out: Vec<Nanos> = vec![0; channels];
+    let mut max_busy: Nanos = 0;
+    let mut max_busy_rep = crate::sin::SinReport::default();
+    for work in &alloc_out.work {
+        luns_touched.insert(work.lun);
+        let rep = crate::sin::process_lun_work(work, luncsr, config, ecc, stats);
+        let ch = config.geometry.lun_channel(work.lun) as usize;
+        channel_out[ch] +=
+            timing.channel_transfer_ns(rep.result_bytes) + rep.sense_ops * timing.t_command_ns;
+        if rep.busy_ns > max_busy {
+            max_busy = rep.busy_ns;
+            max_busy_rep = rep;
+        }
+    }
+    let max_channel = channel_out.iter().copied().max().unwrap_or(0);
+    let searching_ns = max_busy + max_channel;
+
+    // ---- Gathering stage. ----
+    let active = entries.len();
+    let new_distances: u64 = entries.iter().map(|(_, _, v)| v.len() as u64).sum();
+    let g_dram = timing.dram_transfer_ns(qpt.gather_traffic_bytes(active, new_distances));
+    let g_emb = active as u64 * timing.t_embedded_op_ns;
+
+    RoundOutcome {
+        allocating_ns,
+        searching_ns,
+        gathering_ns: g_dram + g_emb,
+        bus_ns: max_channel,
+        dram_ns: g_dram,
+        embedded_ns: g_emb,
+        nand_read_ns: max_busy_rep.sense_ns,
+        ecc_ns: max_busy_rep.ecc_ns,
+        compute_ns: max_busy_rep.compute_ns,
+        work: alloc_out.work,
+    }
+}
+
+/// Sorting-stage cost for shipping `nq` result lists to the FPGA sorter
+/// and the top-k back to the host (§V, shared by the batch engine's batch
+/// tail and the serving engine's per-query completion tail).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SortingTail {
+    /// Result lists over the private SSD↔FPGA link.
+    pub fpga_ns: Nanos,
+    /// Bitonic sorting waves on the FPGA.
+    pub sort_ns: Nanos,
+    /// Top-k back over the host link.
+    pub out_ns: Nanos,
+    /// PCIe bytes moved (result lists + top-k out).
+    pub pcie_bytes: u64,
+}
+
+impl SortingTail {
+    /// Total tail latency.
+    pub fn total_ns(&self) -> Nanos {
+        self.fpga_ns + self.sort_ns + self.out_ns
+    }
+}
+
+/// Computes the Sorting-stage tail for `nq` queries returning `k` results
+/// each: result lists cross the FPGA link, sort in
+/// `ceil(nq / sorters)` bitonic waves, and `k` (id, distance) pairs per
+/// query return over the host link.
+pub(crate) fn sorting_tail(config: &NdsConfig, nq: u64, k: usize) -> SortingTail {
+    let list_bytes = nq * config.result_list_entries as u64 * u64::from(config.result_entry_bytes);
+    let fpga_ns = config.fpga_link.transfer_ns(list_bytes);
+    let stages = BitonicStats::stages_for(config.result_list_entries.next_power_of_two());
+    let period_ns = (1e9 / config.fpga_clock_hz).ceil() as u64;
+    let waves = nq.div_ceil(u64::from(config.fpga_sorters.max(1)));
+    let sort_ns = waves * u64::from(stages) * period_ns;
+    let out_bytes = nq * k as u64 * 8;
+    let out_ns = config.host_link.transfer_ns(out_bytes);
+    SortingTail {
+        fpga_ns,
+        sort_ns,
+        out_ns,
+        pcie_bytes: list_bytes + out_bytes,
+    }
+}
 
 /// The NDSEARCH batch engine.
 #[derive(Debug, Clone)]
@@ -154,14 +322,12 @@ impl<'a> NdsEngine<'a> {
                 continue;
             }
 
-            // ---- Allocating stage. ----
+            // ---- Allocating + Searching + Gathering (the shared round
+            // executor, also driven per-hop by `crate::serve`). ----
             let entries: Vec<(u32, VectorId, &[VectorId])> = filtered
                 .iter()
                 .map(|(q, e, v)| (*q, *e, v.as_slice()))
                 .collect();
-            let vgen_out = Vgenerator.run(luncsr, timing, &entries);
-            let alloc_out = Allocator.dispatch(luncsr, timing, &vgen_out.triples, false);
-            let allocating_ns = vgen_out.latency_ns + alloc_out.latency_ns;
 
             // ---- Speculative prefetch for the next round (overlapped). ----
             let mut spec_triples: Vec<(u32, VectorId, u32)> = Vec::new();
@@ -181,24 +347,15 @@ impl<'a> NdsEngine<'a> {
                 }
             }
 
-            // ---- Searching stage: all LUN accelerators in parallel. ----
-            let channels = config.geometry.channels as usize;
-            let mut channel_out: Vec<Nanos> = vec![0; channels];
-            let mut max_busy: Nanos = 0;
-            let mut max_busy_rep = crate::sin::SinReport::default();
-            for work in &alloc_out.work {
-                luns_touched.insert(work.lun);
-                let rep = crate::sin::process_lun_work(work, luncsr, config, &mut ecc, &mut stats);
-                let ch = config.geometry.lun_channel(work.lun) as usize;
-                channel_out[ch] += timing.channel_transfer_ns(rep.result_bytes)
-                    + rep.sense_ops * timing.t_command_ns;
-                if rep.busy_ns > max_busy {
-                    max_busy = rep.busy_ns;
-                    max_busy_rep = rep;
-                }
-            }
-            let max_channel = channel_out.iter().copied().max().unwrap_or(0);
-            let searching_ns = max_busy + max_channel;
+            let round = execute_round(
+                config,
+                luncsr,
+                &qpt,
+                &entries,
+                &mut ecc,
+                &mut stats,
+                luns_touched,
+            );
 
             // Speculative work executes off the critical path but consumes
             // pages and MACs (visible in the statistics).
@@ -210,35 +367,14 @@ impl<'a> NdsEngine<'a> {
                 }
             }
 
-            // ---- Gathering stage. ----
-            let active = filtered.len();
-            let new_distances: u64 = filtered.iter().map(|(_, _, v)| v.len() as u64).sum();
-            let g_dram = timing.dram_transfer_ns(qpt.gather_traffic_bytes(active, new_distances));
-            let g_emb = active as u64 * timing.t_embedded_op_ns;
-            let gathering_ns = g_dram + g_emb;
-
-            // ---- Compose the round's critical path. ----
-            let alloc_on_path = if config.scheduling.dynamic_allocating && r > 0 {
-                allocating_ns.saturating_sub(prev_shadow)
-            } else {
-                allocating_ns
-            };
-            total += alloc_on_path + searching_ns + gathering_ns;
-            prev_shadow = searching_ns + gathering_ns;
-
-            // ---- Attribute the round to breakdown buckets. ----
-            breakdown.allocating_ns += alloc_on_path;
-            breakdown.bus_ns += max_channel;
-            breakdown.dram_ns += g_dram;
-            breakdown.embedded_ns += g_emb;
-            // Decompose the slowest LUN's busy time.
-            breakdown.nand_read_ns += max_busy_rep.sense_ns;
-            breakdown.ecc_ns += max_busy_rep.ecc_ns;
-            breakdown.compute_ns += max_busy_rep.compute_ns;
+            // ---- Compose the round's critical path and attribute it to
+            // the breakdown buckets. ----
+            let overlap = config.scheduling.dynamic_allocating && r > 0;
+            total += round.apply(&mut breakdown, &mut prev_shadow, overlap);
 
             // ---- Online block-level refresh (read disturb). ----
             if let (Some(f), Some(owned)) = (ftl.as_mut(), luncsr_owned.as_mut()) {
-                let touched: Vec<u32> = alloc_out
+                let touched: Vec<u32> = round
                     .work
                     .iter()
                     .flat_map(|w| {
@@ -266,20 +402,12 @@ impl<'a> NdsEngine<'a> {
             }
         }
 
-        // ---- Sorting stage: SSD → FPGA → host. ----
-        let list_bytes =
-            nq as u64 * config.result_list_entries as u64 * u64::from(config.result_entry_bytes);
-        let t_fpga_in = config.fpga_link.transfer_ns(list_bytes);
-        let stages = BitonicStats::stages_for(config.result_list_entries.next_power_of_two());
-        let period_ns = (1e9 / config.fpga_clock_hz).ceil() as u64;
-        let waves = (nq as u64).div_ceil(u64::from(config.fpga_sorters.max(1)));
-        let t_sort = waves * u64::from(stages) * period_ns;
-        let out_bytes = nq as u64 * 10 * 8; // top-10 ids + distances
-        let t_out = config.host_link.transfer_ns(out_bytes);
-        stats.pcie_bytes += list_bytes + out_bytes;
-        breakdown.bitonic_ns += t_sort;
-        breakdown.pcie_ns += t_fpga_in + t_out;
-        total += t_fpga_in + t_sort + t_out;
+        // ---- Sorting stage: SSD → FPGA → host (top-10 returned). ----
+        let tail = sorting_tail(config, nq as u64, 10);
+        stats.pcie_bytes += tail.pcie_bytes;
+        breakdown.bitonic_ns += tail.sort_ns;
+        breakdown.pcie_ns += tail.fpga_ns + tail.out_ns;
+        total += tail.total_ns();
 
         NdsReport {
             queries: nq,

@@ -24,7 +24,12 @@
 //! * [`pipeline`] — the end-to-end static-scheduling pipeline: reorder →
 //!   place → LUNCSR → relabeled traces;
 //! * [`report::NdsReport`] — latency breakdown (Fig. 17), page/LUN
-//!   statistics (Fig. 4/14/15), throughput and energy results.
+//!   statistics (Fig. 4/14/15), throughput and energy results;
+//! * [`serve::ServeEngine`] — the concurrent multi-query serving layer:
+//!   query sessions (submit/poll/complete, deadlines, admission and
+//!   backpressure) whose live beam-search hops are interleaved across the
+//!   flash channels each scheduling round, with per-query p50/p99 latency
+//!   reporting; [`stream`] is the coarser closed-batch throughput model.
 //!
 //! # Example
 //!
@@ -43,6 +48,8 @@
 //! assert!(report.total_ns > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod area;
 pub mod config;
@@ -51,6 +58,7 @@ pub mod engine;
 pub mod pipeline;
 pub mod qpt;
 pub mod report;
+pub mod serve;
 pub mod sin;
 pub mod speculative;
 pub mod stream;
@@ -59,4 +67,5 @@ pub mod vgen;
 pub use config::{NdsConfig, SchedulingConfig};
 pub use engine::NdsEngine;
 pub use pipeline::Prepared;
-pub use report::{LatencyBreakdown, NdsReport};
+pub use report::{LatencyBreakdown, LatencySummary, NdsReport};
+pub use serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport};

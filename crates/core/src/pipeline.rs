@@ -6,7 +6,7 @@
 //! LUNCSR, and relabel the traces into the new id space — the software
 //! steps of §VI-A performed offline before the search runs.
 
-use ndsearch_anns::trace::BatchTrace;
+use ndsearch_anns::trace::{BatchTrace, IterationTrace};
 use ndsearch_graph::csr::Csr;
 use ndsearch_graph::luncsr::LunCsr;
 use ndsearch_graph::mapping::VertexMapping;
@@ -57,6 +57,19 @@ impl Prepared {
             perm,
             vector_bytes: base.stored_vector_bytes(),
             dim: base.dim(),
+        }
+    }
+
+    /// Relabels one live search hop into the reordered id space.
+    ///
+    /// The batch engine replays traces that [`Prepared::stage`] relabeled
+    /// up front; the serving engine instead runs beam search *live* against
+    /// the construction-order graph and relabels each hop as it is
+    /// scheduled onto the hardware model.
+    pub fn relabel_hop(&self, hop: &IterationTrace) -> IterationTrace {
+        IterationTrace {
+            entry: self.perm.new_of(hop.entry),
+            visited: hop.visited.iter().map(|&v| self.perm.new_of(v)).collect(),
         }
     }
 
@@ -129,6 +142,20 @@ mod tests {
         let prepared = Prepared::stage(&config, &graph, &base, &tiny_trace());
         assert_eq!(prepared.trace, tiny_trace());
         assert_eq!(prepared.perm.new_of(5), 5);
+    }
+
+    #[test]
+    fn relabel_hop_matches_batch_relabel() {
+        let base = DatasetSpec::sift_scaled(128, 1).build();
+        let graph = ring_graph(128);
+        let config = NdsConfig::scaled_for(128, base.stored_vector_bytes());
+        let trace = tiny_trace();
+        let prepared = Prepared::stage(&config, &graph, &base, &trace);
+        let hop = &trace.queries[0].iterations[0];
+        assert_eq!(
+            prepared.relabel_hop(hop),
+            prepared.trace.queries[0].iterations[0]
+        );
     }
 
     #[test]

@@ -38,6 +38,13 @@ impl QueryPropertyTable {
         self.record_bytes() * self.queries as u64
     }
 
+    /// How many query records fit in `budget_bytes` of internal DRAM —
+    /// the admission cap the serving layer derives from the QPT footprint
+    /// (a resident session holds one record for its whole lifetime).
+    pub fn max_resident(&self, budget_bytes: u64) -> usize {
+        (budget_bytes / self.record_bytes().max(1)) as usize
+    }
+
     /// DRAM bytes touched when the Gathering stage updates `updates`
     /// queries after `new_distances` fresh distance results arrived:
     /// a fixed read-modify-write of each query's status/entry (64 B) plus
@@ -64,6 +71,14 @@ mod tests {
         assert_eq!(q.gather_traffic_bytes(0, 0), 0);
         assert_eq!(q.gather_traffic_bytes(10, 0), 640);
         assert_eq!(q.gather_traffic_bytes(10, 100), 640 + 1600);
+    }
+
+    #[test]
+    fn max_resident_is_budget_over_record() {
+        let q = QueryPropertyTable::new(1, 512, 64);
+        assert_eq!(q.max_resident(q.record_bytes() * 10), 10);
+        assert_eq!(q.max_resident(q.record_bytes() - 1), 0);
+        assert_eq!(q.max_resident(0), 0);
     }
 
     #[test]

@@ -1,9 +1,53 @@
-//! Simulation reports: latency breakdown, statistics, throughput.
+//! Simulation reports: latency breakdown, statistics, throughput, and the
+//! order statistics (p50/p99) the serving layer reports per query.
 
 use ndsearch_flash::stats::FlashStats;
 use ndsearch_flash::timing::Nanos;
 
 use crate::speculative::SpeculationStats;
+
+/// Order statistics over a set of latency samples — the shape a serving
+/// benchmark reports (mean / p50 / p95 / p99 / max), computed with the
+/// nearest-rank method.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (50th percentile, nearest rank).
+    pub p50_ns: Nanos,
+    /// 95th percentile.
+    pub p95_ns: Nanos,
+    /// 99th percentile.
+    pub p99_ns: Nanos,
+    /// Worst sample.
+    pub max_ns: Nanos,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (order irrelevant; an empty slice yields the
+    /// all-zero summary).
+    pub fn from_samples(samples: &[Nanos]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> Nanos {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            mean_ns: sorted.iter().map(|&x| x as f64).sum::<f64>() / sorted.len() as f64,
+            p50_ns: pct(50.0),
+            p95_ns: pct(95.0),
+            p99_ns: pct(99.0),
+            max_ns: *sorted.last().unwrap(),
+        }
+    }
+}
 
 /// Where the execution time went (the categories of Fig. 17).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -146,6 +190,27 @@ mod tests {
         });
         assert_eq!(a.nand_read_ns, 12);
         assert_eq!(a.bitonic_ns, 3);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_nearest_rank() {
+        let samples: Vec<Nanos> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        // Order must not matter.
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(LatencySummary::from_samples(&rev), s);
+        // Degenerate cases.
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let one = LatencySummary::from_samples(&[7]);
+        assert_eq!(one.p50_ns, 7);
+        assert_eq!(one.p99_ns, 7);
     }
 
     #[test]

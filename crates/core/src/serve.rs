@@ -1,0 +1,884 @@
+//! Concurrent multi-query serving on the SearSSD model.
+//!
+//! The batch engine ([`crate::engine::NdsEngine`]) replays one recorded
+//! trace to completion — the regime the paper evaluates. A production
+//! deployment instead sees an *open stream* of queries: they arrive at
+//! arbitrary times, each wants its own top-k back as fast as possible, and
+//! the device should keep every channel and die busy by interleaving work
+//! from many in-flight searches. This module provides that layer:
+//!
+//! * [`QueryRequest`] / [`QueryOutcome`] — a query session with arrival
+//!   time, optional absolute deadline, and per-query top-k state;
+//! * [`ServeEngine`] — submit / poll / step / complete. Each scheduling
+//!   round takes **one beam-search hop from every in-flight query** (a
+//!   live [`BeamSearcher`] per session, relabeled into the reordered id
+//!   space via [`Prepared::relabel_hop`]) and executes the merged work on
+//!   the SearSSD model through the same round executor as the batch
+//!   engine, so static scheduling (reorder + multi-plane placement, baked
+//!   into [`Prepared`]) and dynamic allocating (alloc-stage overlap) apply
+//!   unchanged;
+//! * [`ServeConfig`] — admission and backpressure: in-flight sessions are
+//!   capped by the configured limit, the device's batch resource cap, and
+//!   the number of query-property records the internal DRAM budget holds
+//!   ([`QueryPropertyTable::max_resident`]); arrivals beyond the wait-queue
+//!   capacity are rejected;
+//! * [`ServeReport`] — QPS over the makespan plus per-query latency order
+//!   statistics ([`LatencySummary`]).
+//!
+//! Because every hop is produced by the same expansion kernel as
+//! [`beam_search`](ndsearch_anns::beam::beam_search), a query served
+//! concurrently returns exactly the result list it would get from a
+//! sequential run — concurrency changes *when* work happens, never *what*
+//! is computed. Speculative searching is not modeled here: it keys off the
+//! recorded next-iteration entry, which a live search does not know.
+//!
+//! # Example
+//!
+//! ```
+//! use ndsearch_core::config::NdsConfig;
+//! use ndsearch_core::pipeline::Prepared;
+//! use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine};
+//! use ndsearch_anns::trace::BatchTrace;
+//! use ndsearch_anns::vamana::{Vamana, VamanaParams};
+//! use ndsearch_anns::index::GraphAnnsIndex;
+//! use ndsearch_vector::synthetic::DatasetSpec;
+//!
+//! let (base, queries) = DatasetSpec::sift_scaled(400, 8).build_pair();
+//! let index = Vamana::build(&base, VamanaParams::default());
+//! let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+//! let prepared = Prepared::stage(&config, index.base_graph(), &base, &BatchTrace::default());
+//! let mut engine = ServeEngine::new(
+//!     &config,
+//!     ServeConfig::default(),
+//!     &prepared,
+//!     &base,
+//!     index.base_graph(),
+//! );
+//! for (_, q) in queries.iter() {
+//!     engine.submit(QueryRequest::at(0, q.to_vec(), vec![index.medoid()]));
+//! }
+//! let report = engine.run_to_completion();
+//! assert_eq!(report.completed(), 8);
+//! assert!(report.qps() > 0.0);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use ndsearch_anns::beam::BeamSearcher;
+use ndsearch_anns::trace::IterationTrace;
+use ndsearch_flash::ecc::EccEngine;
+use ndsearch_flash::stats::FlashStats;
+use ndsearch_flash::timing::Nanos;
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::{DistanceKind, VectorId};
+
+use crate::config::NdsConfig;
+use crate::engine::{execute_round, sorting_tail};
+use crate::pipeline::Prepared;
+use crate::qpt::QueryPropertyTable;
+use crate::report::{LatencyBreakdown, LatencySummary};
+
+/// Identifier of a submitted query session (dense, in submission order).
+pub type QueryId = usize;
+
+/// Admission, backpressure and search knobs of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum concurrently executing sessions. The effective cap is also
+    /// bounded by [`NdsConfig::max_batch_inflight`] and by how many QPT
+    /// records fit in `qpt_dram_budget_bytes`.
+    pub max_inflight: usize,
+    /// Arrived-but-not-admitted sessions the wait queue holds; arrivals
+    /// beyond this are rejected (backpressure to the caller).
+    pub queue_capacity: usize,
+    /// Beam width (`ef`) each session searches with.
+    pub beam_width: usize,
+    /// Top-k entries returned per query.
+    pub k: usize,
+    /// Distance function (must match graph construction).
+    pub distance: DistanceKind,
+    /// Internal-DRAM budget for the query property table; divides by the
+    /// per-session record size to bound residency.
+    pub qpt_dram_budget_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 64,
+            queue_capacity: 4096,
+            beam_width: 64,
+            k: 10,
+            distance: DistanceKind::L2,
+            qpt_dram_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One query submitted to the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query feature vector (construction-order id space).
+    pub query: Vec<f32>,
+    /// Entry vertices to seed the beam search from (construction-order
+    /// ids, e.g. the index medoid or entry point).
+    pub entries: Vec<VectorId>,
+    /// Simulated arrival time.
+    pub arrival_ns: Nanos,
+    /// Optional absolute deadline; a session past it is terminated at the
+    /// next round boundary with its best-so-far partial results.
+    pub deadline_ns: Option<Nanos>,
+}
+
+impl QueryRequest {
+    /// A request arriving at `arrival_ns` with no deadline.
+    pub fn at(arrival_ns: Nanos, query: Vec<f32>, entries: Vec<VectorId>) -> Self {
+        Self {
+            query,
+            entries,
+            arrival_ns,
+            deadline_ns: None,
+        }
+    }
+}
+
+/// Lifecycle of a query session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Submitted; simulated arrival time not reached yet.
+    Pending,
+    /// Arrived; waiting in the admission queue for an execution slot.
+    Queued,
+    /// Admitted; its beam-search hops are being interleaved.
+    Running,
+    /// Finished; final top-k available.
+    Completed,
+    /// Dropped at arrival because the admission queue was full.
+    Rejected,
+    /// Terminated at its deadline with partial (best-so-far) results.
+    Expired,
+}
+
+/// Final record of one session, reported by [`ServeReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Session id (submission order).
+    pub id: QueryId,
+    /// Terminal state ([`SessionState::Completed`], `Rejected` or
+    /// `Expired`).
+    pub state: SessionState,
+    /// When the query arrived.
+    pub arrival_ns: Nanos,
+    /// When it was admitted into execution (equals `completed_ns` for
+    /// rejected sessions, which never ran).
+    pub admitted_ns: Nanos,
+    /// When its results were back at the host.
+    pub completed_ns: Nanos,
+    /// Beam-search hops it executed.
+    pub hops: usize,
+    /// Scheduling rounds it spent in flight. Fairness: the round-robin
+    /// scheduler advances every in-flight session once per round, so for a
+    /// session that ran to completion this exceeds `hops` by at most one
+    /// (a final drain round, when the remaining candidates turn out to be
+    /// fully visited) — a session never starves in flight.
+    pub rounds_inflight: usize,
+    /// Top-k neighbors, ascending by distance (partial if `Expired`,
+    /// empty if `Rejected`).
+    pub results: Vec<Neighbor>,
+}
+
+impl QueryOutcome {
+    /// End-to-end latency the client observed (arrival → results).
+    pub fn latency_ns(&self) -> Nanos {
+        self.completed_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Time spent waiting for admission.
+    pub fn queue_wait_ns(&self) -> Nanos {
+        self.admitted_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
+/// Result of serving a stream of query sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One record per submitted session, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// First arrival → last completion.
+    pub makespan_ns: Nanos,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Most sessions concurrently in flight.
+    pub peak_inflight: usize,
+    /// Where the device time went (accumulated across rounds).
+    pub breakdown: LatencyBreakdown,
+    /// Flash access statistics (accumulated across rounds).
+    pub stats: FlashStats,
+    /// Distinct LUNs touched / total LUNs.
+    pub lun_coverage: f64,
+}
+
+impl ServeReport {
+    /// Sessions that ran to normal completion.
+    pub fn completed(&self) -> usize {
+        self.count(SessionState::Completed)
+    }
+
+    /// Sessions rejected by backpressure.
+    pub fn rejected(&self) -> usize {
+        self.count(SessionState::Rejected)
+    }
+
+    /// Sessions cut off at their deadline.
+    pub fn expired(&self) -> usize {
+        self.count(SessionState::Expired)
+    }
+
+    fn count(&self, s: SessionState) -> usize {
+        self.outcomes.iter().filter(|o| o.state == s).count()
+    }
+
+    /// Goodput: normally completed queries per second of makespan.
+    pub fn qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.completed() as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Latency order statistics over normally completed sessions.
+    pub fn latency(&self) -> LatencySummary {
+        let samples: Vec<Nanos> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Completed)
+            .map(|o| o.latency_ns())
+            .collect();
+        LatencySummary::from_samples(&samples)
+    }
+}
+
+/// Internal per-session state. The searcher (which owns a dataset-sized
+/// visited set) exists only while the session is `Running`: it is built at
+/// admission from the stored request and dropped at completion/expiry, so
+/// resident search memory is bounded by the in-flight cap, not by the
+/// total number of submissions.
+#[derive(Debug, Clone)]
+struct Session {
+    arrival_ns: Nanos,
+    deadline_ns: Option<Nanos>,
+    /// Query vector; moved into the searcher at admission.
+    query: Vec<f32>,
+    /// Entry vertices; moved into the searcher at admission.
+    entries: Vec<VectorId>,
+    searcher: Option<BeamSearcher>,
+    state: SessionState,
+    admitted_ns: Nanos,
+    completed_ns: Nanos,
+    /// Hop count, snapshotted when the searcher is dropped.
+    hops: usize,
+    rounds_inflight: usize,
+    results: Vec<Neighbor>,
+}
+
+impl Session {
+    /// Tears down the searcher, snapshotting its hop count and best-`k`
+    /// results into the session record.
+    fn finish(&mut self, state: SessionState, completed_ns: Nanos, k: usize) {
+        self.state = state;
+        self.completed_ns = completed_ns;
+        if let Some(searcher) = self.searcher.take() {
+            self.hops = searcher.hops();
+            self.results = searcher.found();
+            self.results.truncate(k);
+        }
+    }
+}
+
+/// The concurrent serving engine: an event-synchronous scheduler that
+/// interleaves beam-search hops from many in-flight query sessions across
+/// the SearSSD's flash channels. See the [module docs](self) for the
+/// execution model.
+#[derive(Debug, Clone)]
+pub struct ServeEngine<'a> {
+    config: &'a NdsConfig,
+    serve: ServeConfig,
+    prepared: &'a Prepared,
+    dataset: &'a Dataset,
+    graph: &'a Csr,
+    qpt: QueryPropertyTable,
+    sessions: Vec<Session>,
+    /// Not-yet-arrived sessions, ordered by (arrival, id).
+    arrivals: BinaryHeap<Reverse<(Nanos, QueryId)>>,
+    /// Arrived sessions awaiting an execution slot (FIFO).
+    queue: VecDeque<QueryId>,
+    /// Admitted sessions, in admission order.
+    inflight: Vec<QueryId>,
+    now_ns: Nanos,
+    first_arrival_ns: Option<Nanos>,
+    last_completion_ns: Nanos,
+    prev_shadow: Nanos,
+    rounds: u64,
+    peak_inflight: usize,
+    ecc: EccEngine,
+    stats: FlashStats,
+    breakdown: LatencyBreakdown,
+    luns_touched: HashSet<u32>,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates a serving engine over a staged layout. `dataset` and
+    /// `graph` are the construction-order views the live beam searches
+    /// run against; `prepared` carries the reordered physical layout the
+    /// hardware model replays.
+    ///
+    /// # Panics
+    /// Panics if the dataset, graph and staged layout disagree on vertex
+    /// count.
+    pub fn new(
+        config: &'a NdsConfig,
+        serve: ServeConfig,
+        prepared: &'a Prepared,
+        dataset: &'a Dataset,
+        graph: &'a Csr,
+    ) -> Self {
+        assert_eq!(
+            graph.num_vertices(),
+            dataset.len(),
+            "graph and dataset must agree on vertex count"
+        );
+        assert_eq!(
+            prepared.luncsr.num_vertices(),
+            dataset.len(),
+            "staged layout must cover the dataset"
+        );
+        let qpt = QueryPropertyTable::new(
+            serve.max_inflight,
+            prepared.vector_bytes,
+            config.result_list_entries,
+        );
+        Self {
+            config,
+            serve,
+            prepared,
+            dataset,
+            graph,
+            qpt,
+            sessions: Vec::new(),
+            arrivals: BinaryHeap::new(),
+            queue: VecDeque::new(),
+            inflight: Vec::new(),
+            now_ns: 0,
+            first_arrival_ns: None,
+            last_completion_ns: 0,
+            prev_shadow: 0,
+            rounds: 0,
+            peak_inflight: 0,
+            ecc: EccEngine::new(&config.geometry, config.ecc),
+            stats: FlashStats::new(),
+            breakdown: LatencyBreakdown::default(),
+            luns_touched: HashSet::new(),
+        }
+    }
+
+    /// The effective in-flight cap: the configured limit, clamped by the
+    /// device's batch resource cap and by QPT DRAM residency.
+    pub fn max_inflight(&self) -> usize {
+        self.serve
+            .max_inflight
+            .min(self.config.max_batch_inflight)
+            .min(self.qpt.max_resident(self.serve.qpt_dram_budget_bytes))
+            .max(1)
+    }
+
+    /// Registers a query session and returns its id. Arrival times in the
+    /// past are clamped to the current simulated time.
+    pub fn submit(&mut self, req: QueryRequest) -> QueryId {
+        let id = self.sessions.len();
+        let arrival = req.arrival_ns.max(self.now_ns);
+        self.sessions.push(Session {
+            arrival_ns: arrival,
+            deadline_ns: req.deadline_ns,
+            query: req.query,
+            entries: req.entries,
+            searcher: None,
+            state: SessionState::Pending,
+            admitted_ns: 0,
+            completed_ns: 0,
+            hops: 0,
+            rounds_inflight: 0,
+            results: Vec::new(),
+        });
+        self.arrivals.push(Reverse((arrival, id)));
+        self.first_arrival_ns = Some(self.first_arrival_ns.map_or(arrival, |f| f.min(arrival)));
+        id
+    }
+
+    /// Current state of a session.
+    pub fn poll(&self, id: QueryId) -> SessionState {
+        self.sessions[id].state
+    }
+
+    /// Final (or partial, if expired) results of a terminal session;
+    /// `None` while it is still pending/queued/running.
+    pub fn results(&self, id: QueryId) -> Option<&[Neighbor]> {
+        match self.sessions[id].state {
+            SessionState::Completed | SessionState::Expired | SessionState::Rejected => {
+                Some(&self.sessions[id].results)
+            }
+            _ => None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now_ns(&self) -> Nanos {
+        self.now_ns
+    }
+
+    /// Moves sessions whose arrival time has passed into the admission
+    /// queue, rejecting them if it is full.
+    fn process_arrivals(&mut self) {
+        while let Some(&Reverse((t, id))) = self.arrivals.peek() {
+            if t > self.now_ns {
+                break;
+            }
+            self.arrivals.pop();
+            let s = &mut self.sessions[id];
+            if self.queue.len() >= self.serve.queue_capacity {
+                s.state = SessionState::Rejected;
+                s.admitted_ns = t;
+                s.completed_ns = t;
+            } else {
+                s.state = SessionState::Queued;
+                self.queue.push_back(id);
+            }
+        }
+    }
+
+    /// Terminates queued and in-flight sessions whose deadline has passed,
+    /// returning their best-so-far top-k.
+    fn expire_due(&mut self) {
+        let now = self.now_ns;
+        let k = self.serve.k;
+        let due = |s: &Session| s.deadline_ns.is_some_and(|d| d < now);
+        let expired_inflight: Vec<QueryId> = self
+            .inflight
+            .iter()
+            .copied()
+            .filter(|&id| due(&self.sessions[id]))
+            .collect();
+        self.inflight.retain(|&id| !due(&self.sessions[id]));
+        for id in expired_inflight {
+            // Partial results still travel the full Sorting-stage path.
+            let tail = self.completion_tail_ns();
+            self.sessions[id].finish(SessionState::Expired, now + tail, k);
+            self.last_completion_ns = self.last_completion_ns.max(now + tail);
+        }
+        let sessions = &mut self.sessions;
+        let mut newly_expired = Vec::new();
+        self.queue.retain(|&id| {
+            if sessions[id].deadline_ns.is_some_and(|d| d < now) {
+                newly_expired.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in newly_expired {
+            let s = &mut self.sessions[id];
+            s.state = SessionState::Expired;
+            s.admitted_ns = now;
+            s.completed_ns = now;
+        }
+        self.last_completion_ns = self.last_completion_ns.max(now);
+    }
+
+    /// Per-query Sorting-stage tail: result list over the private FPGA
+    /// link, one bitonic sort wave, top-k back over the host link (the
+    /// same [`sorting_tail`] model the batch engine uses, for one query).
+    /// The tail overlaps subsequent search rounds (§V), so it extends the
+    /// query's completion time but not the scheduler clock.
+    fn completion_tail_ns(&mut self) -> Nanos {
+        let tail = sorting_tail(self.config, 1, self.serve.k);
+        self.stats.pcie_bytes += tail.pcie_bytes;
+        self.breakdown.bitonic_ns += tail.sort_ns;
+        self.breakdown.pcie_ns += tail.fpga_ns + tail.out_ns;
+        tail.total_ns()
+    }
+
+    /// Executes one scheduling round: process arrivals, expire deadlines,
+    /// admit from the queue, take one hop from every in-flight session,
+    /// run the merged work on the SearSSD model, and complete finished
+    /// sessions. Returns `false` once every submitted session is terminal.
+    pub fn step_round(&mut self) -> bool {
+        self.process_arrivals();
+        if self.inflight.is_empty() && self.queue.is_empty() {
+            // Idle: fast-forward to the next arrival, if any.
+            let Some(&Reverse((t, _))) = self.arrivals.peek() else {
+                return false;
+            };
+            self.now_ns = self.now_ns.max(t);
+            self.process_arrivals();
+        }
+        self.expire_due();
+
+        // ---- Admission: PCIe-in DMA overlaps the round's search. The
+        // searcher (and its dataset-sized visited set) is built here, not
+        // at submit, so resident memory tracks the in-flight cap. ----
+        let mut t_in: Nanos = 0;
+        let (num_vertices, beam_width, distance) = (
+            self.dataset.len(),
+            self.serve.beam_width,
+            self.serve.distance,
+        );
+        while self.inflight.len() < self.max_inflight() {
+            let Some(id) = self.queue.pop_front() else {
+                break;
+            };
+            let s = &mut self.sessions[id];
+            s.state = SessionState::Running;
+            s.admitted_ns = self.now_ns;
+            s.searcher = Some(BeamSearcher::new(
+                num_vertices,
+                std::mem::take(&mut s.query),
+                std::mem::take(&mut s.entries),
+                beam_width,
+                distance,
+            ));
+            let bytes = self.prepared.vector_bytes as u64 + 16;
+            t_in += self.config.host_link.transfer_ns(bytes);
+            self.stats.pcie_bytes += bytes;
+            self.inflight.push(id);
+        }
+        self.peak_inflight = self.peak_inflight.max(self.inflight.len());
+        self.breakdown.pcie_ns += t_in;
+
+        // ---- One hop per in-flight session, in admission order. ----
+        let (dataset, graph, prepared) = (self.dataset, self.graph, self.prepared);
+        let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
+        let mut finished: Vec<QueryId> = Vec::new();
+        for (slot, &id) in self.inflight.iter().enumerate() {
+            let s = &mut self.sessions[id];
+            s.rounds_inflight += 1;
+            let searcher = s.searcher.as_mut().expect("running session has a searcher");
+            match searcher.step(dataset, graph) {
+                Some(hop) => {
+                    if searcher.is_finished() {
+                        finished.push(id);
+                    }
+                    hops.push((slot as u32, prepared.relabel_hop(&hop)));
+                }
+                None => finished.push(id),
+            }
+        }
+
+        // ---- Execute the merged round on the hardware model. ----
+        let mut round_exec: Nanos = 0;
+        if !hops.is_empty() {
+            let entries: Vec<(u32, VectorId, &[VectorId])> = hops
+                .iter()
+                .map(|(q, it)| (*q, it.entry, it.visited.as_slice()))
+                .collect();
+            let round = execute_round(
+                self.config,
+                &self.prepared.luncsr,
+                &self.qpt,
+                &entries,
+                &mut self.ecc,
+                &mut self.stats,
+                &mut self.luns_touched,
+            );
+            let overlap = self.config.scheduling.dynamic_allocating && self.rounds > 0;
+            round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
+            self.rounds += 1;
+        }
+        self.now_ns += round_exec.max(t_in);
+
+        // ---- Complete sessions that terminated this round. ----
+        for id in finished {
+            self.inflight.retain(|&x| x != id);
+            let tail = self.completion_tail_ns();
+            let k = self.serve.k;
+            self.sessions[id].finish(SessionState::Completed, self.now_ns + tail, k);
+            self.last_completion_ns = self.last_completion_ns.max(self.now_ns + tail);
+        }
+
+        !self.inflight.is_empty() || !self.queue.is_empty() || !self.arrivals.is_empty()
+    }
+
+    /// Drives the scheduler until every session is terminal and returns
+    /// the report.
+    pub fn run_to_completion(&mut self) -> ServeReport {
+        while self.step_round() {}
+        self.report()
+    }
+
+    /// Snapshot of the serving outcome so far (complete once
+    /// [`run_to_completion`](Self::run_to_completion) or repeated
+    /// [`step_round`](Self::step_round) calls have drained every session).
+    pub fn report(&self) -> ServeReport {
+        let outcomes = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(id, s)| QueryOutcome {
+                id,
+                state: s.state,
+                arrival_ns: s.arrival_ns,
+                admitted_ns: s.admitted_ns,
+                completed_ns: s.completed_ns,
+                hops: s.searcher.as_ref().map_or(s.hops, |b| b.hops()),
+                rounds_inflight: s.rounds_inflight,
+                results: s.results.clone(),
+            })
+            .collect();
+        ServeReport {
+            outcomes,
+            makespan_ns: self
+                .now_ns
+                .max(self.last_completion_ns)
+                .saturating_sub(self.first_arrival_ns.unwrap_or(0)),
+            rounds: self.rounds,
+            peak_inflight: self.peak_inflight,
+            breakdown: self.breakdown,
+            stats: self.stats,
+            lun_coverage: self.luns_touched.len() as f64
+                / f64::from(self.config.geometry.total_luns()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_anns::beam::{beam_search, VisitedSet};
+    use ndsearch_anns::index::GraphAnnsIndex;
+    use ndsearch_anns::trace::BatchTrace;
+    use ndsearch_anns::vamana::{Vamana, VamanaParams};
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    struct Fixture {
+        base: Dataset,
+        queries: Dataset,
+        graph: Csr,
+        medoid: VectorId,
+        config: NdsConfig,
+    }
+
+    fn fixture(n: usize, q: usize) -> Fixture {
+        let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+        let index = Vamana::build(&base, VamanaParams::default());
+        let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+        config.ecc.hard_decision_failure_prob = 0.0;
+        Fixture {
+            base,
+            queries,
+            medoid: index.medoid(),
+            graph: index.base_graph().clone(),
+            config,
+        }
+    }
+
+    fn stage(fx: &Fixture) -> Prepared {
+        Prepared::stage(&fx.config, &fx.graph, &fx.base, &BatchTrace::default())
+    }
+
+    fn submit_all(engine: &mut ServeEngine<'_>, fx: &Fixture, arrival: impl Fn(usize) -> Nanos) {
+        for (i, (_, q)) in fx.queries.iter().enumerate() {
+            engine.submit(QueryRequest::at(arrival(i), q.to_vec(), vec![fx.medoid]));
+        }
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential_beam_search() {
+        let fx = fixture(500, 24);
+        let prepared = stage(&fx);
+        let serve = ServeConfig {
+            max_inflight: 8,
+            ..ServeConfig::default()
+        };
+        let mut engine =
+            ServeEngine::new(&fx.config, serve.clone(), &prepared, &fx.base, &fx.graph);
+        submit_all(&mut engine, &fx, |_| 0);
+        let report = engine.run_to_completion();
+        assert_eq!(report.completed(), fx.queries.len());
+
+        let mut vs = VisitedSet::new(fx.base.len());
+        for (i, (_, q)) in fx.queries.iter().enumerate() {
+            let seq = beam_search(
+                &fx.base,
+                &fx.graph,
+                q,
+                &[fx.medoid],
+                serve.beam_width,
+                serve.distance,
+                &mut vs,
+            );
+            let mut want = seq.found;
+            want.truncate(serve.k);
+            assert_eq!(report.outcomes[i].results, want, "query {i} diverged");
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let fx = fixture(400, 16);
+        let prepared = stage(&fx);
+        let run = || {
+            let serve = ServeConfig {
+                max_inflight: 4,
+                ..ServeConfig::default()
+            };
+            let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+            submit_all(&mut engine, &fx, |i| i as Nanos * 1_000);
+            engine.run_to_completion()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn round_robin_never_starves_a_session() {
+        let fx = fixture(400, 16);
+        let prepared = stage(&fx);
+        let serve = ServeConfig {
+            max_inflight: 4,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+        submit_all(&mut engine, &fx, |_| 0);
+        let report = engine.run_to_completion();
+        for o in &report.outcomes {
+            assert_eq!(o.state, SessionState::Completed);
+            // Every round a session spends in flight advances it one hop,
+            // except at most one final drain round.
+            assert!(
+                o.rounds_inflight >= o.hops && o.rounds_inflight <= o.hops + 1,
+                "session {} stalled: {} rounds for {} hops",
+                o.id,
+                o.rounds_inflight,
+                o.hops
+            );
+            assert!(o.hops > 0);
+        }
+        // FIFO admission: same-arrival sessions admitted in submission order.
+        let admitted: Vec<Nanos> = report.outcomes.iter().map(|o| o.admitted_ns).collect();
+        assert!(admitted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.peak_inflight, 4);
+    }
+
+    #[test]
+    fn queue_overflow_rejects_and_deadlines_expire() {
+        let fx = fixture(400, 16);
+        let prepared = stage(&fx);
+        let serve = ServeConfig {
+            max_inflight: 2,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+        submit_all(&mut engine, &fx, |_| 0);
+        let report = engine.run_to_completion();
+        assert_eq!(
+            report.rejected(),
+            12,
+            "queue holds 4 of 16 same-instant arrivals"
+        );
+        assert_eq!(report.completed(), 4);
+        for o in report
+            .outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Rejected)
+        {
+            assert!(o.results.is_empty());
+        }
+
+        // A deadline in the past expires a session with partial results.
+        let mut engine2 = ServeEngine::new(
+            &fx.config,
+            ServeConfig::default(),
+            &prepared,
+            &fx.base,
+            &fx.graph,
+        );
+        let mut req = QueryRequest::at(0, fx.queries.vector(0).to_vec(), vec![fx.medoid]);
+        req.deadline_ns = Some(1);
+        engine2.submit(req);
+        let r2 = engine2.run_to_completion();
+        assert_eq!(r2.expired(), 1);
+    }
+
+    #[test]
+    fn qpt_budget_caps_inflight() {
+        let fx = fixture(400, 8);
+        let prepared = stage(&fx);
+        let serve = ServeConfig {
+            max_inflight: 64,
+            // Room for exactly 2 QPT records.
+            qpt_dram_budget_bytes: 2 * QueryPropertyTable::new(
+                64,
+                prepared.vector_bytes,
+                fx.config.result_list_entries,
+            )
+            .record_bytes(),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+        assert_eq!(engine.max_inflight(), 2);
+        submit_all(&mut engine, &fx, |_| 0);
+        let report = engine.run_to_completion();
+        assert_eq!(report.peak_inflight, 2);
+        assert_eq!(report.completed(), 8);
+    }
+
+    #[test]
+    fn submit_poll_step_lifecycle() {
+        let fx = fixture(400, 4);
+        let prepared = stage(&fx);
+        let mut engine = ServeEngine::new(
+            &fx.config,
+            ServeConfig::default(),
+            &prepared,
+            &fx.base,
+            &fx.graph,
+        );
+        let id = engine.submit(QueryRequest::at(
+            5_000,
+            fx.queries.vector(0).to_vec(),
+            vec![fx.medoid],
+        ));
+        assert_eq!(engine.poll(id), SessionState::Pending);
+        assert!(engine.results(id).is_none());
+        assert!(engine.step_round()); // fast-forwards to the arrival
+        assert_eq!(engine.poll(id), SessionState::Running);
+        while engine.step_round() {}
+        assert_eq!(engine.poll(id), SessionState::Completed);
+        assert_eq!(engine.results(id).unwrap().len(), 10);
+        let report = engine.report();
+        // Makespan is measured from the first arrival, not from t=0: the
+        // idle prefix before the query arrived must not dilute QPS.
+        assert_eq!(report.makespan_ns, report.outcomes[0].completed_ns - 5_000);
+        assert!(report.latency().p50_ns > 0);
+        assert!(report.lun_coverage > 0.0);
+    }
+
+    #[test]
+    fn empty_engine_reports_zero() {
+        let fx = fixture(200, 1);
+        let prepared = stage(&fx);
+        let mut engine = ServeEngine::new(
+            &fx.config,
+            ServeConfig::default(),
+            &prepared,
+            &fx.base,
+            &fx.graph,
+        );
+        let report = engine.run_to_completion();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.qps(), 0.0);
+        assert_eq!(report.makespan_ns, 0);
+    }
+}

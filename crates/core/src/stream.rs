@@ -7,6 +7,13 @@
 //! of batches where each batch's FPGA sorting (and result return) overlaps
 //! the next batch's in-SSD search, giving the sustained QPS a deployment
 //! would observe.
+//!
+//! Batches here are *closed*: every query in a batch starts and finishes
+//! together, so the stream models throughput but not per-query latency
+//! under load. For open-loop arrivals, per-query deadlines and p50/p99
+//! tail latencies, use the session-based serving engine in
+//! [`crate::serve`], which interleaves hops from many in-flight queries
+//! instead of marching a batch in lockstep.
 
 use ndsearch_flash::timing::Nanos;
 

@@ -32,12 +32,23 @@
 //! # assert!(report.qps() > 0.0);
 //! ```
 //!
+//! ## Serving concurrent queries
+//!
+//! The batch engine above replays one recorded trace to completion. The
+//! serving layer ([`serve`], re-exported from `ndsearch-core`) instead
+//! accepts an open stream of query sessions — submit/poll/complete with
+//! per-query deadlines, admission and backpressure — and interleaves one
+//! beam-search hop from every in-flight query across the flash channels
+//! each scheduling round, reporting QPS and p50/p99 latency. See
+//! `examples/serving_concurrent.rs` and the `serve_sweep` bench binary.
+//!
 //! See `examples/` for full scenarios and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 
 pub use ndsearch_anns as anns;
 pub use ndsearch_baselines as baselines;
 pub use ndsearch_core as core;
+pub use ndsearch_core::serve;
 pub use ndsearch_flash as flash;
 pub use ndsearch_graph as graph;
 pub use ndsearch_vector as vector;

@@ -1,12 +1,16 @@
 //! Integration invariants on the two-level scheduling: the Fig. 14/15/16
-//! ablation shapes, determinism, and refresh consistency under load.
+//! ablation shapes, determinism, refresh consistency under load, and the
+//! serving layer's batch scheduler (determinism, recall parity with
+//! sequential execution, fairness under a bounded in-flight cap).
 
+use ndsearch::anns::beam::{beam_search, VisitedSet};
 use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
 use ndsearch::core::config::{NdsConfig, SchedulingConfig};
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
 use ndsearch::core::report::NdsReport;
+use ndsearch::serve::{QueryRequest, ServeConfig, ServeEngine, SessionState};
 use ndsearch::vector::synthetic::DatasetSpec;
 use ndsearch::vector::DistanceKind;
 
@@ -113,6 +117,125 @@ fn whole_pipeline_is_deterministic() {
     let a = run(&fx, SchedulingConfig::full());
     let b = run(&fx, SchedulingConfig::full());
     assert_eq!(a, b);
+}
+
+/// Builds a serving engine over the scheduling fixture and submits every
+/// fixture query at `arrival(i)`.
+fn serve_fixture_run(
+    fx: &Fixture,
+    queries: &ndsearch::vector::Dataset,
+    medoid: u32,
+    serve: ServeConfig,
+    arrival: impl Fn(usize) -> u64,
+) -> ndsearch::serve::ServeReport {
+    let prepared = Prepared::stage(
+        &fx.config,
+        &fx.graph,
+        &fx.base,
+        &ndsearch::anns::trace::BatchTrace::default(),
+    );
+    let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+    for (i, (_, q)) in queries.iter().enumerate() {
+        engine.submit(QueryRequest::at(arrival(i), q.to_vec(), vec![medoid]));
+    }
+    engine.run_to_completion()
+}
+
+fn serve_setup() -> (Fixture, ndsearch::vector::Dataset, u32) {
+    let fx = fixture();
+    let (_, queries) = DatasetSpec::deep_scaled(900, 24).build_pair();
+    let index = Vamana::build(&fx.base, VamanaParams::default());
+    (fx, queries, index.medoid())
+}
+
+#[test]
+fn batch_scheduler_is_deterministic_under_fixed_seed() {
+    let (fx, queries, medoid) = serve_setup();
+    let run = || {
+        serve_fixture_run(
+            &fx,
+            &queries,
+            medoid,
+            ServeConfig {
+                max_inflight: 6,
+                ..ServeConfig::default()
+            },
+            |i| i as u64 * 2_500,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed + same arrivals must replay identically");
+    assert_eq!(a.completed(), queries.len());
+}
+
+#[test]
+fn batch_scheduler_preserves_per_query_recall() {
+    // Interleaving N queries must return exactly the ids a sequential
+    // run-to-completion beam search returns for each of them.
+    let (fx, queries, medoid) = serve_setup();
+    let serve = ServeConfig {
+        max_inflight: 8,
+        ..ServeConfig::default()
+    };
+    let report = serve_fixture_run(&fx, &queries, medoid, serve.clone(), |_| 0);
+    let mut vs = VisitedSet::new(fx.base.len());
+    for (i, (_, q)) in queries.iter().enumerate() {
+        let mut want = beam_search(
+            &fx.base,
+            &fx.graph,
+            q,
+            &[medoid],
+            serve.beam_width,
+            serve.distance,
+            &mut vs,
+        )
+        .found;
+        want.truncate(serve.k);
+        assert_eq!(
+            report.outcomes[i].results, want,
+            "query {i}: concurrent serving changed the answer"
+        );
+    }
+}
+
+#[test]
+fn batch_scheduler_is_fair_under_oversubscription() {
+    // 24 queries over 4 slots: everyone completes, nobody sits in flight
+    // without progressing (at most one drain round), admission is FIFO.
+    let (fx, queries, medoid) = serve_setup();
+    let report = serve_fixture_run(
+        &fx,
+        &queries,
+        medoid,
+        ServeConfig {
+            max_inflight: 4,
+            ..ServeConfig::default()
+        },
+        |_| 0,
+    );
+    assert_eq!(report.peak_inflight, 4);
+    let mut last_admitted = 0;
+    for o in &report.outcomes {
+        assert_eq!(o.state, SessionState::Completed, "query {} starved", o.id);
+        assert!(o.hops > 0);
+        assert!(
+            o.rounds_inflight <= o.hops + 1,
+            "query {} occupied {} rounds for {} hops",
+            o.id,
+            o.rounds_inflight,
+            o.hops
+        );
+        assert!(
+            o.admitted_ns >= last_admitted,
+            "admission must be FIFO for same-instant arrivals"
+        );
+        last_admitted = o.admitted_ns;
+    }
+    // Oversubscription costs queueing delay: the last-admitted query
+    // waited, the first did not.
+    assert_eq!(report.outcomes[0].queue_wait_ns(), 0);
+    assert!(report.outcomes.last().unwrap().queue_wait_ns() > 0);
 }
 
 #[test]

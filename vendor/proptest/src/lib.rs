@@ -166,7 +166,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed size or a `start..end` range.
+    /// Length specification for [`vec()`]: a fixed size or a `start..end` range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         start: usize,
@@ -201,7 +201,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
