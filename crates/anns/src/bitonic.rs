@@ -2,7 +2,8 @@
 //!
 //! §IV-A: SearSSD streams each query's result list (query id, candidate
 //! ids, scalar distances) to an FPGA which runs a highly parallel bitonic
-//! sorter (\[66\]) and returns the top-k. A bitonic network for `n = 2^p`
+//! sorter (Batcher's network; reference 66 of the paper) and returns the
+//! top-k. A bitonic network for `n = 2^p`
 //! elements has `p(p+1)/2` stages of `n/2` parallel comparators; its
 //! latency on hardware is `stages × clock`, independent of data. This
 //! module executes the real network (so results are exact) and counts

@@ -12,9 +12,10 @@
 //!   misses but keeps DRAM-latency-bound traversal.
 //! * [`gpu::GpuPlatform`] — Titan-RTX-class: 24 GB VRAM, massive compute
 //!   parallelism, same PCIe wall for billion-scale corpora.
-//! * [`smartssd::SmartSsdPlatform`] — the SmartSSD-only design of \[47\]: an
-//!   FPGA behind a private PCIe 3.0 ×4 link; no in-NAND logic, so every
-//!   visited vertex drags a 4 KiB block across the ×4 link.
+//! * [`smartssd::SmartSsdPlatform`] — the SmartSSD-only design of Kim et
+//!   al. (IEEE TC 2022; reference 47 of the paper): an FPGA behind a
+//!   private PCIe 3.0 ×4 link; no in-NAND logic, so every visited vertex
+//!   drags a 4 KiB block across the ×4 link.
 //! * [`deepstore::DeepStorePlatform`] — DeepStore-style in-storage
 //!   accelerators at channel (DS-c) or chip (DS-cp) granularity: they
 //!   exploit internal bandwidth but pay the ~30 µs page-buffer→accelerator

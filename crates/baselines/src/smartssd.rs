@@ -1,4 +1,5 @@
-//! SmartSSD-only platform model (\[47\]: Kim et al., IEEE TC 2022).
+//! SmartSSD-only platform model (Kim et al., IEEE TC 2022 — reference 47
+//! of the paper).
 //!
 //! A SmartSSD pairs a stock SSD with an FPGA over a *private* PCIe 3.0 ×4
 //! switch. The FPGA runs graph traversal + distance + sort, which removes
@@ -7,8 +8,8 @@
 //! before it can be used. Page reuse is per-query only (the FPGA streams
 //! one query's working set; there is no batch-wide LUN scheduling), which
 //! is precisely the gap NDSEARCH's in-NAND compute + dynamic allocating
-//! closes (§IX: "the performance of \[47\] is still limited by the low PCIe
-//! bandwidth").
+//! closes (§IX: the performance of the SmartSSD design "is still limited
+//! by the low PCIe bandwidth").
 
 use std::collections::HashSet;
 
@@ -29,9 +30,9 @@ pub struct SmartSsdPlatform {
     pub t_sort_per_query_ns: u64,
     /// Wall-plug power (host share + device), watts.
     pub power_w: f64,
-    /// Block-fetch reduction from \[47\]'s optimized on-device data layout
-    /// (graph neighborhoods packed into blocks): distinct blocks fetched
-    /// are divided by this factor.
+    /// Block-fetch reduction from Kim et al.'s optimized on-device data
+    /// layout (graph neighborhoods packed into blocks): distinct blocks
+    /// fetched are divided by this factor.
     pub layout_locality: f64,
 }
 

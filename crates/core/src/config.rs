@@ -117,6 +117,12 @@ pub struct NdsConfig {
     /// iteration). Larger budgets raise the hit rate *and* the wasted page
     /// accesses of Fig. 15.
     pub spec_budget_factor: f64,
+    /// Host worker threads the round executor ([`crate::exec`]) fans
+    /// per-LUN work units over. Reports are bit-identical at any value;
+    /// `1` runs the exact legacy inline loop. Defaults to the host's
+    /// available parallelism (overridable via the `NDSEARCH_EXEC_THREADS`
+    /// environment variable).
+    pub exec_threads: usize,
     /// Seed for placement/refresh/ECC determinism.
     pub seed: u64,
 }
@@ -139,6 +145,7 @@ impl Default for NdsConfig {
             max_batch_inflight: 4096,
             refresh_read_threshold: 0,
             spec_budget_factor: 1.0,
+            exec_threads: crate::exec::default_threads(),
             seed: 0x6D5,
         }
     }

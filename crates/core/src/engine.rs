@@ -23,6 +23,7 @@
 //!    back to the host.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use ndsearch_anns::bitonic::BitonicStats;
 use ndsearch_anns::trace::QueryTrace;
@@ -34,11 +35,83 @@ use ndsearch_vector::VectorId;
 
 use crate::alloc::{Allocator, LunWork};
 use crate::config::NdsConfig;
+use crate::exec::Pool;
 use crate::pipeline::Prepared;
 use crate::qpt::QueryPropertyTable;
 use crate::report::{LatencyBreakdown, NdsReport};
+use crate::sin::{process_lun_work, LunJob, LunOutcome};
 use crate::speculative::{select_prefetch, SpeculationStats};
 use crate::vgen::Vgenerator;
+
+/// The batch engine's pool type: per-LUN jobs in, outcome deltas out.
+pub(crate) type LunPool<'f> = Pool<'f, LunJob, LunOutcome>;
+
+/// Abstraction over a worker pool that can evaluate a round's per-LUN
+/// work units. The batch engine's [`LunPool`] implements it directly;
+/// the serving engine's pool (whose job type also carries beam-search
+/// hops) implements it by wrapping the jobs.
+pub(crate) trait LunExecutor {
+    /// Whether `units` work units would actually fan out over workers.
+    fn parallel_for(&self, units: usize) -> bool;
+    /// Evaluates the jobs, returning outcomes **in job order**.
+    fn run_luns(&mut self, jobs: Vec<LunJob>) -> Vec<LunOutcome>;
+}
+
+impl LunExecutor for LunPool<'_> {
+    fn parallel_for(&self, units: usize) -> bool {
+        self.is_parallel() && units >= crate::exec::PARALLEL_THRESHOLD
+    }
+
+    fn run_luns(&mut self, jobs: Vec<LunJob>) -> Vec<LunOutcome> {
+        self.run(jobs)
+    }
+}
+
+/// The engine-wide mutable accumulators one round commits into — per-LUN
+/// outcome deltas merge into these, in stable LUN order, after the fan-out.
+pub(crate) struct RoundSinks<'a> {
+    /// Engine-wide ECC state (failure-stream cursors advance per round).
+    pub ecc: &'a mut EccEngine,
+    /// Engine-wide flash statistics.
+    pub stats: &'a mut FlashStats,
+    /// Distinct LUNs touched so far (LUN-coverage reporting).
+    pub luns_touched: &'a mut HashSet<u32>,
+}
+
+/// Evaluates a round's per-LUN work units — on the worker pool when one
+/// is attached and the round is large enough to amortize the hand-off,
+/// inline otherwise — returning outcomes in stable LUN order.
+///
+/// Invariant: a parallel pool's job function must close over the *same*
+/// `luncsr`/`config` passed here (both engines build their pool over
+/// `Prepared::luncsr`; the refresh path, which mutates a private LUNCSR
+/// copy, always runs with an inline pool). The ECC snapshot travels in
+/// the jobs, so it is consistent either way.
+fn run_lun_units(
+    config: &NdsConfig,
+    luncsr: &LunCsr,
+    ecc: &EccEngine,
+    work: Vec<LunWork>,
+    pool: Option<&mut dyn LunExecutor>,
+) -> Vec<LunOutcome> {
+    match pool {
+        Some(pool) if pool.parallel_for(work.len()) => {
+            let snapshot = Arc::new(ecc.clone());
+            let jobs: Vec<LunJob> = work
+                .into_iter()
+                .map(|work| LunJob {
+                    work,
+                    ecc: Arc::clone(&snapshot),
+                })
+                .collect();
+            pool.run_luns(jobs)
+        }
+        _ => work
+            .iter()
+            .map(|w| process_lun_work(w, luncsr, config, ecc))
+            .collect(),
+    }
+}
 
 /// Latency contributions of one Allocating → Searching → Gathering round.
 ///
@@ -66,9 +139,9 @@ pub(crate) struct RoundOutcome {
     pub ecc_ns: Nanos,
     /// Slowest LUN: page-buffer streaming + MAC compute.
     pub compute_ns: Nanos,
-    /// The dispatched per-LUN work (the engine's refresh path replays the
-    /// touched planes through the FTL).
-    pub work: Vec<LunWork>,
+    /// Global plane of every dispatched task, concatenated in stable LUN
+    /// order (the engine's refresh path replays these through the FTL).
+    pub touched_planes: Vec<u32>,
 }
 
 impl RoundOutcome {
@@ -108,15 +181,18 @@ impl RoundOutcome {
 ///
 /// This is the hot path shared by the run-to-completion batch engine
 /// ([`NdsEngine`]) and the interleaved multi-query scheduler
-/// ([`crate::serve::ServeEngine`]).
+/// ([`crate::serve::ServeEngine`]). The Searching stage fans the per-LUN
+/// work units over the persistent worker pool ([`crate::exec`]) — each
+/// unit is a pure function of the round's snapshots — then folds the
+/// outcomes back in stable LUN order, so the round is bit-identical at
+/// any [`NdsConfig::exec_threads`] (`pool = None` is the inline path).
 pub(crate) fn execute_round(
     config: &NdsConfig,
     luncsr: &LunCsr,
     qpt: &QueryPropertyTable,
     entries: &[(u32, VectorId, &[VectorId])],
-    ecc: &mut EccEngine,
-    stats: &mut FlashStats,
-    luns_touched: &mut HashSet<u32>,
+    sinks: RoundSinks<'_>,
+    pool: Option<&mut dyn LunExecutor>,
 ) -> RoundOutcome {
     let timing = &config.timing;
 
@@ -125,15 +201,25 @@ pub(crate) fn execute_round(
     let alloc_out = Allocator.dispatch(luncsr, timing, &vgen_out.triples, false);
     let allocating_ns = vgen_out.latency_ns + alloc_out.latency_ns;
 
-    // ---- Searching stage: all LUN accelerators in parallel. ----
+    // ---- Searching stage: all LUN accelerators in parallel — on worker
+    // threads too, since each work unit only reads this round's immutable
+    // snapshots. ----
+    let outcomes = run_lun_units(config, luncsr, sinks.ecc, alloc_out.work, pool);
+
+    // ---- Merge in stable LUN order (determinism: every reduction sees
+    // the same operand sequence at any thread count). ----
     let channels = config.geometry.channels as usize;
     let mut channel_out: Vec<Nanos> = vec![0; channels];
     let mut max_busy: Nanos = 0;
     let mut max_busy_rep = crate::sin::SinReport::default();
-    for work in &alloc_out.work {
-        luns_touched.insert(work.lun);
-        let rep = crate::sin::process_lun_work(work, luncsr, config, ecc, stats);
-        let ch = config.geometry.lun_channel(work.lun) as usize;
+    let mut touched_planes = Vec::new();
+    for out in outcomes {
+        sinks.luns_touched.insert(out.lun);
+        sinks.ecc.apply(&out.ecc);
+        sinks.stats.merge(&out.stats);
+        touched_planes.extend_from_slice(&out.touched_planes);
+        let rep = out.report;
+        let ch = config.geometry.lun_channel(out.lun) as usize;
         channel_out[ch] +=
             timing.channel_transfer_ns(rep.result_bytes) + rep.sense_ops * timing.t_command_ns;
         if rep.busy_ns > max_busy {
@@ -160,7 +246,7 @@ pub(crate) fn execute_round(
         nand_read_ns: max_busy_rep.sense_ns,
         ecc_ns: max_busy_rep.ecc_ns,
         compute_ns: max_busy_rep.compute_ns,
-        work: alloc_out.work,
+        touched_planes,
     }
 }
 
@@ -222,7 +308,26 @@ impl<'a> NdsEngine<'a> {
     /// Simulates a full batch (splitting into sub-batches when it exceeds
     /// the resource cap, §VII-B "Batch size") and returns the merged
     /// report.
+    ///
+    /// The run spawns the round executor's worker pool once
+    /// ([`crate::exec::with_pool`], [`NdsConfig::exec_threads`] threads)
+    /// and drives every round through it; online refresh mutates a
+    /// private LUNCSR copy mid-run, so refresh-enabled runs use the
+    /// inline executor (results are identical either way).
     pub fn run(&self, prepared: &Prepared) -> NdsReport {
+        let config = self.config;
+        let refresh_on = config.refresh_read_threshold > 0;
+        let threads = if refresh_on { 1 } else { config.exec_threads };
+        crate::exec::with_pool(
+            threads,
+            |job: LunJob| process_lun_work(&job.work, &prepared.luncsr, config, &job.ecc),
+            |pool| self.run_with_pool(prepared, pool),
+        )
+    }
+
+    fn run_with_pool(&self, prepared: &Prepared, pool: &mut LunPool<'_>) -> NdsReport {
+        // A zero cap means "no batching resources": clamp once, here, to
+        // the smallest legal sub-batch.
         let cap = self.config.max_batch_inflight.max(1);
         let queries = &prepared.trace.queries;
         let mut merged = NdsReport {
@@ -231,9 +336,9 @@ impl<'a> NdsEngine<'a> {
         };
         let mut luns_touched: HashSet<u32> = HashSet::new();
         let mut sub_batches = 0;
-        for chunk in queries.chunks(cap.max(1)) {
+        for chunk in queries.chunks(cap) {
             sub_batches += 1;
-            let sub = self.run_sub(prepared, chunk, &mut luns_touched);
+            let sub = self.run_sub(prepared, chunk, &mut luns_touched, pool);
             merged.total_ns += sub.total_ns;
             merged.trace_len += sub.trace_len;
             merged.breakdown.merge(&sub.breakdown);
@@ -257,6 +362,7 @@ impl<'a> NdsEngine<'a> {
         prepared: &Prepared,
         traces: &[QueryTrace],
         luns_touched: &mut HashSet<u32>,
+        pool: &mut LunPool<'_>,
     ) -> NdsReport {
         let config = self.config;
         // Online block-level refresh needs a mutable LUNCSR (the FTL
@@ -295,6 +401,15 @@ impl<'a> NdsEngine<'a> {
         let mut refreshes = 0u64;
         for r in 0..max_iters {
             let luncsr = luncsr_owned.as_ref().unwrap_or(&prepared.luncsr);
+            // The pool's job closure is bound to `prepared.luncsr`; when
+            // refresh runs against the privately mutated copy the rounds
+            // must stay inline (enforced structurally here, not just by
+            // `run` clamping the thread count).
+            let round_pool: Option<&mut dyn LunExecutor> = if luncsr_owned.is_some() {
+                None
+            } else {
+                Some(&mut *pool)
+            };
             // ---- Collect this round's work from the traces. ----
             let mut filtered: Vec<(u32, VectorId, Vec<VectorId>)> = Vec::new();
             for (qi, t) in traces.iter().enumerate() {
@@ -352,18 +467,30 @@ impl<'a> NdsEngine<'a> {
                 luncsr,
                 &qpt,
                 &entries,
-                &mut ecc,
-                &mut stats,
-                luns_touched,
+                RoundSinks {
+                    ecc: &mut ecc,
+                    stats: &mut stats,
+                    luns_touched,
+                },
+                round_pool,
             );
 
             // Speculative work executes off the critical path but consumes
-            // pages and MACs (visible in the statistics).
+            // pages and MACs (visible in the statistics). It fans over the
+            // same pool; its deltas commit after the main round's, so the
+            // per-plane ECC streams stay in program order.
             if !spec_triples.is_empty() {
                 let spec_alloc = Allocator.dispatch(luncsr, timing, &spec_triples, true);
-                for work in &spec_alloc.work {
-                    luns_touched.insert(work.lun);
-                    crate::sin::process_lun_work(work, luncsr, config, &mut ecc, &mut stats);
+                let spec_pool: Option<&mut dyn LunExecutor> = if luncsr_owned.is_some() {
+                    None
+                } else {
+                    Some(&mut *pool)
+                };
+                let spec_outcomes = run_lun_units(config, luncsr, &ecc, spec_alloc.work, spec_pool);
+                for out in spec_outcomes {
+                    luns_touched.insert(out.lun);
+                    ecc.apply(&out.ecc);
+                    stats.merge(&out.stats);
                 }
             }
 
@@ -374,17 +501,8 @@ impl<'a> NdsEngine<'a> {
 
             // ---- Online block-level refresh (read disturb). ----
             if let (Some(f), Some(owned)) = (ftl.as_mut(), luncsr_owned.as_mut()) {
-                let touched: Vec<u32> = round
-                    .work
-                    .iter()
-                    .flat_map(|w| {
-                        w.tasks
-                            .iter()
-                            .map(|t| t.addr.global_plane(&config.geometry))
-                    })
-                    .collect();
                 let mut moves = 0u64;
-                for plane in touched {
+                for &plane in &round.touched_planes {
                     for ev in f.note_read(plane) {
                         owned.apply_refresh(&ev);
                         moves += 1;
@@ -538,6 +656,48 @@ mod tests {
         let a = run_with(SchedulingConfig::full(), &base, &graph, &trace);
         let b = run_with(SchedulingConfig::full(), &base, &graph, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_max_batch_inflight_clamps_to_one_query_sub_batches() {
+        let (base, graph, trace) = fixture();
+        let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+        config.max_batch_inflight = 0;
+        config.ecc.hard_decision_failure_prob = 0.0;
+        let prepared = Prepared::stage(&config, &graph, &base, &trace);
+        let r = NdsEngine::new(&config).run(&prepared);
+        // The cap clamps to 1, so every query becomes its own sub-batch —
+        // and the degenerate config must behave exactly like cap = 1.
+        assert_eq!(r.sub_batches, 32);
+        assert_eq!(r.queries, 32);
+        assert!(r.total_ns > 0);
+        config.max_batch_inflight = 1;
+        let one = NdsEngine::new(&config).run(&prepared);
+        assert_eq!(r, one);
+    }
+
+    #[test]
+    fn reports_bit_identical_across_thread_counts() {
+        let (base, graph, trace) = fixture();
+        let run_threads = |threads: usize| {
+            let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+            config.scheduling = SchedulingConfig::full();
+            config.exec_threads = threads;
+            // Keep fault injection on: the counter-indexed ECC streams are
+            // exactly what must not depend on the schedule.
+            config.ecc.hard_decision_failure_prob = 0.05;
+            let prepared = Prepared::stage(&config, &graph, &base, &trace);
+            NdsEngine::new(&config).run(&prepared)
+        };
+        let sequential = run_threads(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                run_threads(threads),
+                "report diverged at exec_threads = {threads}"
+            );
+        }
+        assert!(sequential.stats.ecc_soft_fallbacks > 0);
     }
 
     #[test]

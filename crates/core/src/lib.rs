@@ -19,6 +19,10 @@
 //! * [`engine::NdsEngine`] — the NDP processing model of Algorithm 1
 //!   (Allocating → Searching → Gathering → Sorting with stage overlap),
 //!   including the speculative searching of §VI-B2 ([`speculative`]);
+//! * [`exec`] — the deterministic data-parallel round executor: pure
+//!   per-LUN work units fanned over scoped worker threads
+//!   ([`config::NdsConfig::exec_threads`]) and merged in stable LUN
+//!   order, bit-identical at any thread count;
 //! * [`energy`] / [`area`] — the Table I power/area models and the
 //!   storage-density arithmetic of §VII-B;
 //! * [`pipeline`] — the end-to-end static-scheduling pipeline: reorder →
@@ -55,6 +59,7 @@ pub mod area;
 pub mod config;
 pub mod energy;
 pub mod engine;
+pub mod exec;
 pub mod pipeline;
 pub mod qpt;
 pub mod report;

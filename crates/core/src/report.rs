@@ -23,11 +23,19 @@ pub struct LatencySummary {
     pub p99_ns: Nanos,
     /// Worst sample.
     pub max_ns: Nanos,
+    /// Host wall-clock seconds the simulator spent producing the run the
+    /// samples came from (0 when not measured; filled by
+    /// [`crate::serve::ServeReport::latency`]).
+    pub wall_s: f64,
+    /// Wall-clock simulation throughput: simulated nanoseconds advanced
+    /// per host second (0 when not measured).
+    pub sim_ns_per_wall_s: f64,
 }
 
 impl LatencySummary {
     /// Summarizes `samples` (order irrelevant; an empty slice yields the
-    /// all-zero summary).
+    /// all-zero summary). The wall-clock fields stay 0 — only a caller
+    /// that actually timed the run can fill them.
     pub fn from_samples(samples: &[Nanos]) -> Self {
         if samples.is_empty() {
             return Self::default();
@@ -45,6 +53,8 @@ impl LatencySummary {
             p95_ns: pct(95.0),
             p99_ns: pct(99.0),
             max_ns: *sorted.last().unwrap(),
+            wall_s: 0.0,
+            sim_ns_per_wall_s: 0.0,
         }
     }
 }

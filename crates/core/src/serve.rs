@@ -22,8 +22,16 @@
 //!   the number of query-property records the internal DRAM budget holds
 //!   ([`QueryPropertyTable::max_resident`]); arrivals beyond the wait-queue
 //!   capacity are rejected;
-//! * [`ServeReport`] — QPS over the makespan plus per-query latency order
-//!   statistics ([`LatencySummary`]).
+//! * [`ServeReport`] — QPS over the makespan, per-query latency order
+//!   statistics ([`LatencySummary`]), and wall-clock simulation
+//!   throughput (`wall_s` / [`ServeReport::sim_ns_per_wall_s`]).
+//!
+//! Each scheduling round drives the merged work through the same
+//! data-parallel round executor as the batch engine ([`crate::exec`]):
+//! per-LUN work units run on [`NdsConfig::exec_threads`] worker threads
+//! and merge in stable LUN order, so multi-query serving throughput
+//! scales with host cores while every report stays bit-identical to the
+//! `exec_threads = 1` legacy path.
 //!
 //! Because every hop is produced by the same expansion kernel as
 //! [`beam_search`](ndsearch_anns::beam::beam_search), a query served
@@ -76,10 +84,101 @@ use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
 use crate::config::NdsConfig;
-use crate::engine::{execute_round, sorting_tail};
+use crate::engine::{execute_round, sorting_tail, LunExecutor, RoundSinks};
+use crate::exec::Pool;
 use crate::pipeline::Prepared;
 use crate::qpt::QueryPropertyTable;
 use crate::report::{LatencyBreakdown, LatencySummary};
+use crate::sin::{process_lun_work, LunJob, LunOutcome};
+
+/// Minimum in-flight hops before the hop stage fans out over workers
+/// (hop jobs — one beam expansion plus relabeling — are much heavier
+/// than per-LUN units, so they amortize the hand-off sooner).
+const HOP_PARALLEL_MIN: usize = 8;
+
+/// Job type of the serving pool: one scheduling round first advances
+/// every in-flight session's beam search (`Hop` jobs — independent per
+/// session, the searcher travels to the worker and back), then evaluates
+/// the merged round's per-LUN work units (`Lun` jobs, via
+/// [`LunExecutor`]). Both stages merge in job order, so serving is
+/// bit-identical at any thread count.
+enum ServeJob {
+    /// Advance one session's beam searcher by one hop.
+    Hop {
+        /// Slot in the in-flight list (admission order).
+        slot: u32,
+        /// The session's live searcher (returned in the result).
+        searcher: BeamSearcher,
+    },
+    /// One per-LUN work unit of the merged round.
+    Lun(LunJob),
+}
+
+/// Result of one [`ServeJob`].
+enum ServeOut {
+    /// A hop step's outcome.
+    Hop {
+        slot: u32,
+        searcher: BeamSearcher,
+        /// The executed hop, relabeled into the physical id space
+        /// (`None` when the candidate list was exhausted).
+        hop: Option<IterationTrace>,
+        /// Whether the session terminated this round.
+        finished: bool,
+    },
+    /// A per-LUN outcome delta.
+    Lun(LunOutcome),
+}
+
+/// The serving pool: hop and LUN jobs in, outcomes out.
+type ServePool<'f> = Pool<'f, ServeJob, ServeOut>;
+
+/// Evaluates one serving job (worker threads and the inline path share
+/// this function, so both produce identical results).
+fn run_serve_job(
+    job: ServeJob,
+    dataset: &Dataset,
+    graph: &Csr,
+    prepared: &Prepared,
+    config: &NdsConfig,
+) -> ServeOut {
+    match job {
+        ServeJob::Hop { slot, mut searcher } => {
+            let hop = searcher
+                .step(dataset, graph)
+                .map(|h| prepared.relabel_hop(&h));
+            let finished = hop.is_none() || searcher.is_finished();
+            ServeOut::Hop {
+                slot,
+                searcher,
+                hop,
+                finished,
+            }
+        }
+        ServeJob::Lun(job) => ServeOut::Lun(process_lun_work(
+            &job.work,
+            &prepared.luncsr,
+            config,
+            &job.ecc,
+        )),
+    }
+}
+
+impl LunExecutor for ServePool<'_> {
+    fn parallel_for(&self, units: usize) -> bool {
+        self.is_parallel() && units >= crate::exec::PARALLEL_THRESHOLD
+    }
+
+    fn run_luns(&mut self, jobs: Vec<LunJob>) -> Vec<LunOutcome> {
+        self.run(jobs.into_iter().map(ServeJob::Lun).collect())
+            .into_iter()
+            .map(|out| match out {
+                ServeOut::Lun(out) => out,
+                ServeOut::Hop { .. } => unreachable!("a LUN batch returned a hop"),
+            })
+            .collect()
+    }
+}
 
 /// Identifier of a submitted query session (dense, in submission order).
 pub type QueryId = usize;
@@ -203,7 +302,11 @@ impl QueryOutcome {
 }
 
 /// Result of serving a stream of query sessions.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the host-side `wall_s` measurement: two runs of the
+/// same simulation are equal even though host timing jitters (the
+/// determinism tests rely on this).
+#[derive(Debug, Clone)]
 pub struct ServeReport {
     /// One record per submitted session, in submission order.
     pub outcomes: Vec<QueryOutcome>,
@@ -219,9 +322,37 @@ pub struct ServeReport {
     pub stats: FlashStats,
     /// Distinct LUNs touched / total LUNs.
     pub lun_coverage: f64,
+    /// Host wall-clock seconds spent inside scheduling rounds — how long
+    /// the *simulator* took, as opposed to the simulated `makespan_ns`.
+    /// Scales down with [`crate::config::NdsConfig::exec_threads`].
+    pub wall_s: f64,
+}
+
+impl PartialEq for ServeReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `wall_s` is deliberately excluded (host timing, not simulation
+        // output).
+        self.outcomes == other.outcomes
+            && self.makespan_ns == other.makespan_ns
+            && self.rounds == other.rounds
+            && self.peak_inflight == other.peak_inflight
+            && self.breakdown == other.breakdown
+            && self.stats == other.stats
+            && self.lun_coverage == other.lun_coverage
+    }
 }
 
 impl ServeReport {
+    /// Wall-clock simulation throughput: simulated nanoseconds advanced
+    /// per host second spent simulating (0 when nothing was measured).
+    pub fn sim_ns_per_wall_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.makespan_ns as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
     /// Sessions that ran to normal completion.
     pub fn completed(&self) -> usize {
         self.count(SessionState::Completed)
@@ -250,7 +381,8 @@ impl ServeReport {
         }
     }
 
-    /// Latency order statistics over normally completed sessions.
+    /// Latency order statistics over normally completed sessions, plus
+    /// the wall-clock simulation-throughput fields.
     pub fn latency(&self) -> LatencySummary {
         let samples: Vec<Nanos> = self
             .outcomes
@@ -258,7 +390,10 @@ impl ServeReport {
             .filter(|o| o.state == SessionState::Completed)
             .map(|o| o.latency_ns())
             .collect();
-        LatencySummary::from_samples(&samples)
+        let mut summary = LatencySummary::from_samples(&samples);
+        summary.wall_s = self.wall_s;
+        summary.sim_ns_per_wall_s = self.sim_ns_per_wall_s();
+        summary
     }
 }
 
@@ -328,6 +463,8 @@ pub struct ServeEngine<'a> {
     stats: FlashStats,
     breakdown: LatencyBreakdown,
     luns_touched: HashSet<u32>,
+    /// Host time spent inside [`step_round`](Self::step_round).
+    wall: std::time::Duration,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -382,6 +519,7 @@ impl<'a> ServeEngine<'a> {
             stats: FlashStats::new(),
             breakdown: LatencyBreakdown::default(),
             luns_touched: HashSet::new(),
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -514,7 +652,22 @@ impl<'a> ServeEngine<'a> {
     /// admit from the queue, take one hop from every in-flight session,
     /// run the merged work on the SearSSD model, and complete finished
     /// sessions. Returns `false` once every submitted session is terminal.
+    ///
+    /// Single-stepping always uses the inline round executor;
+    /// [`run_to_completion`](Self::run_to_completion) attaches the worker
+    /// pool (results are bit-identical either way).
     pub fn step_round(&mut self) -> bool {
+        self.step_with(None)
+    }
+
+    fn step_with(&mut self, pool: Option<&mut ServePool<'_>>) -> bool {
+        let wall_start = std::time::Instant::now();
+        let more = self.step_round_inner(pool);
+        self.wall += wall_start.elapsed();
+        more
+    }
+
+    fn step_round_inner(&mut self, mut pool: Option<&mut ServePool<'_>>) -> bool {
         self.process_arrivals();
         if self.inflight.is_empty() && self.queue.is_empty() {
             // Idle: fast-forward to the next arrival, if any.
@@ -557,22 +710,48 @@ impl<'a> ServeEngine<'a> {
         self.peak_inflight = self.peak_inflight.max(self.inflight.len());
         self.breakdown.pcie_ns += t_in;
 
-        // ---- One hop per in-flight session, in admission order. ----
-        let (dataset, graph, prepared) = (self.dataset, self.graph, self.prepared);
-        let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
-        let mut finished: Vec<QueryId> = Vec::new();
+        // ---- One hop per in-flight session, in admission order. Hop
+        // steps are independent per session, so they fan out over the
+        // worker pool; results come back in slot order, keeping the
+        // round bit-identical to the sequential path. ----
+        let (dataset, graph, prepared, config) =
+            (self.dataset, self.graph, self.prepared, self.config);
+        let mut jobs: Vec<ServeJob> = Vec::with_capacity(self.inflight.len());
         for (slot, &id) in self.inflight.iter().enumerate() {
             let s = &mut self.sessions[id];
             s.rounds_inflight += 1;
-            let searcher = s.searcher.as_mut().expect("running session has a searcher");
-            match searcher.step(dataset, graph) {
-                Some(hop) => {
-                    if searcher.is_finished() {
-                        finished.push(id);
-                    }
-                    hops.push((slot as u32, prepared.relabel_hop(&hop)));
-                }
-                None => finished.push(id),
+            let searcher = s.searcher.take().expect("running session has a searcher");
+            jobs.push(ServeJob::Hop {
+                slot: slot as u32,
+                searcher,
+            });
+        }
+        let outs: Vec<ServeOut> = match pool.as_deref_mut() {
+            Some(pool) => pool.run_with_min(jobs, HOP_PARALLEL_MIN),
+            None => jobs
+                .into_iter()
+                .map(|j| run_serve_job(j, dataset, graph, prepared, config))
+                .collect(),
+        };
+        let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
+        let mut finished: Vec<QueryId> = Vec::new();
+        for out in outs {
+            let ServeOut::Hop {
+                slot,
+                searcher,
+                hop,
+                finished: done,
+            } = out
+            else {
+                unreachable!("a hop batch returned a LUN outcome");
+            };
+            let id = self.inflight[slot as usize];
+            self.sessions[id].searcher = Some(searcher);
+            if done {
+                finished.push(id);
+            }
+            if let Some(hop) = hop {
+                hops.push((slot, hop));
             }
         }
 
@@ -588,9 +767,12 @@ impl<'a> ServeEngine<'a> {
                 &self.prepared.luncsr,
                 &self.qpt,
                 &entries,
-                &mut self.ecc,
-                &mut self.stats,
-                &mut self.luns_touched,
+                RoundSinks {
+                    ecc: &mut self.ecc,
+                    stats: &mut self.stats,
+                    luns_touched: &mut self.luns_touched,
+                },
+                pool.map(|p| p as &mut dyn LunExecutor),
             );
             let overlap = self.config.scheduling.dynamic_allocating && self.rounds > 0;
             round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
@@ -612,9 +794,24 @@ impl<'a> ServeEngine<'a> {
 
     /// Drives the scheduler until every session is terminal and returns
     /// the report.
+    ///
+    /// Spawns the round executor's worker pool once
+    /// ([`NdsConfig::exec_threads`] threads) and drives every scheduling
+    /// round through it, so serving throughput scales with host cores
+    /// while the report stays bit-identical to single-stepping.
     pub fn run_to_completion(&mut self) -> ServeReport {
-        while self.step_round() {}
-        self.report()
+        let config = self.config;
+        let prepared = self.prepared;
+        let dataset = self.dataset;
+        let graph = self.graph;
+        crate::exec::with_pool(
+            config.exec_threads,
+            move |job: ServeJob| run_serve_job(job, dataset, graph, prepared, config),
+            |pool| {
+                while self.step_with(Some(&mut *pool)) {}
+                self.report()
+            },
+        )
     }
 
     /// Snapshot of the serving outcome so far (complete once
@@ -648,6 +845,7 @@ impl<'a> ServeEngine<'a> {
             stats: self.stats,
             lun_coverage: self.luns_touched.len() as f64
                 / f64::from(self.config.geometry.total_luns()),
+            wall_s: self.wall.as_secs_f64(),
         }
     }
 }
@@ -738,6 +936,36 @@ mod tests {
             engine.run_to_completion()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn serving_reports_bit_identical_across_thread_counts() {
+        let mut fx = fixture(400, 16);
+        // Keep ECC fault injection on — its counter-indexed streams are
+        // what must not depend on worker scheduling.
+        fx.config.ecc.hard_decision_failure_prob = 0.05;
+        let prepared = stage(&fx);
+        let run = |threads: usize| {
+            let mut config = fx.config.clone();
+            config.exec_threads = threads;
+            let serve = ServeConfig {
+                max_inflight: 8,
+                ..ServeConfig::default()
+            };
+            let mut engine = ServeEngine::new(&config, serve, &prepared, &fx.base, &fx.graph);
+            submit_all(&mut engine, &fx, |i| i as Nanos * 500);
+            engine.run_to_completion()
+        };
+        let sequential = run(1);
+        assert!(sequential.wall_s > 0.0, "wall clock must be measured");
+        assert!(sequential.sim_ns_per_wall_s() > 0.0);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                run(threads),
+                "serve report diverged at exec_threads = {threads}"
+            );
+        }
     }
 
     #[test]

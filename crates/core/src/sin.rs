@@ -17,8 +17,10 @@
 //!   configured lanes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use ndsearch_flash::ecc::EccEngine;
+use ndsearch_flash::ecc::{EccDelta, EccEngine};
+use ndsearch_flash::geometry::{LunId, PlaneId};
 use ndsearch_flash::stats::FlashStats;
 use ndsearch_flash::timing::Nanos;
 use ndsearch_graph::luncsr::LunCsr;
@@ -51,14 +53,52 @@ pub struct SinReport {
     pub soft_fallbacks: u64,
 }
 
+/// Everything one LUN accelerator's iteration produces, as a *delta*
+/// against engine-wide state: the timing report, flash-statistics and ECC
+/// increments, and the planes the work touched (for the FTL's read-disturb
+/// replay). Pure data — the caller merges outcomes in stable LUN order
+/// ([`crate::exec`]) and commits the deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LunOutcome {
+    /// The LUN that executed the work.
+    pub lun: LunId,
+    /// Timing/counters of the accelerator run.
+    pub report: SinReport,
+    /// Flash-statistics increments (merge into the engine-wide
+    /// [`FlashStats`]).
+    pub stats: FlashStats,
+    /// ECC decode increments (apply to the engine-wide [`EccEngine`]).
+    pub ecc: EccDelta,
+    /// Global plane of every task, in task order (the FTL replays these
+    /// for read-disturb accounting). Only collected when online refresh
+    /// is enabled (`refresh_read_threshold > 0`) — empty otherwise, so
+    /// the hot path never pays for it.
+    pub touched_planes: Vec<PlaneId>,
+}
+
+/// One pooled work unit for the round executor ([`crate::exec::Pool`]):
+/// an owned [`LunWork`] plus the round's engine-wide ECC snapshot
+/// (shared by every job of the round).
+#[derive(Debug, Clone)]
+pub struct LunJob {
+    /// The per-LUN work to process.
+    pub work: LunWork,
+    /// Engine-wide ECC state snapshotted at round start.
+    pub ecc: Arc<EccEngine>,
+}
+
 /// Executes one iteration's work on one LUN accelerator.
+///
+/// Pure: reads only immutable snapshots (`luncsr`, `config`, the ECC
+/// engine's counter cursors) and returns every effect as a mergeable
+/// [`LunOutcome`], so independent LUNs can run on worker threads with
+/// bit-identical results at any thread count (see [`crate::exec`]).
 pub fn process_lun_work(
     work: &LunWork,
     luncsr: &LunCsr,
     config: &NdsConfig,
-    ecc: &mut EccEngine,
-    stats: &mut FlashStats,
-) -> SinReport {
+    ecc: &EccEngine,
+) -> LunOutcome {
     let geom = &config.geometry;
     let timing = &config.timing;
     let dim_bytes = u64::from(luncsr.mapping().slot_bytes());
@@ -135,15 +175,17 @@ pub fn process_lun_work(
     //    time is the *busiest plane's*, while array senses serialize at the
     //    die (one multi-plane command sequence at a time).
     let sense_ns = sense_ops * timing.t_read_page_ns;
+    let mut ecc_pass = ecc.begin_lun_pass();
     let mut plane_ecc: BTreeMap<u32, Nanos> = BTreeMap::new();
     let mut soft_fallbacks = 0u64;
     for (&(plane, _, _), &count) in &load_events {
-        let before = ecc.hard_failure_count();
+        let before = ecc_pass.hard_failures();
         let mut t = 0;
         for _ in 0..count {
-            t += ecc.decode_page(plane % geom.total_planes());
+            debug_assert!(plane < geom.total_planes());
+            t += ecc_pass.decode_page(plane);
         }
-        soft_fallbacks += ecc.hard_failure_count() - before;
+        soft_fallbacks += ecc_pass.hard_failures() - before;
         *plane_ecc.entry(plane).or_default() += t;
     }
     let ecc_ns = plane_ecc.values().copied().max().unwrap_or(0);
@@ -172,28 +214,44 @@ pub fn process_lun_work(
         .unwrap_or(0);
     let busy_ns = sense_ns + ecc_ns + compute_ns;
 
-    // 4. Stats.
+    // 4. Stats — accumulated into a fresh delta, not engine-wide state.
     let non_spec = work.tasks.iter().filter(|t| !t.speculative).count() as u64;
-    stats.page_reads += page_loads;
-    stats.search_ops += sense_ops;
-    stats.page_buffer_hits += page_hits;
-    stats.distance_evals += distances;
-    stats.multi_plane_ops += merged_multi_plane;
-    stats.ecc_soft_fallbacks += soft_fallbacks;
     let result_bytes = non_spec * u64::from(config.result_entry_bytes);
-    stats.bus_bytes += result_bytes;
+    let stats_delta = FlashStats {
+        page_reads: page_loads,
+        search_ops: sense_ops,
+        page_buffer_hits: page_hits,
+        distance_evals: distances,
+        multi_plane_ops: merged_multi_plane,
+        ecc_soft_fallbacks: soft_fallbacks,
+        bus_bytes: result_bytes,
+        ..FlashStats::new()
+    };
 
-    SinReport {
-        sense_ops,
-        page_loads,
-        page_hits,
-        distances,
-        busy_ns,
-        sense_ns,
-        ecc_ns,
-        compute_ns,
-        result_bytes,
-        soft_fallbacks,
+    LunOutcome {
+        lun: work.lun,
+        report: SinReport {
+            sense_ops,
+            page_loads,
+            page_hits,
+            distances,
+            busy_ns,
+            sense_ns,
+            ecc_ns,
+            compute_ns,
+            result_bytes,
+            soft_fallbacks,
+        },
+        stats: stats_delta,
+        ecc: ecc_pass.into_delta(),
+        touched_planes: if config.refresh_read_threshold > 0 {
+            work.tasks
+                .iter()
+                .map(|t| t.addr.global_plane(geom))
+                .collect()
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -244,9 +302,8 @@ mod tests {
         let tasks: Vec<(u32, VectorId)> = (0..8u32).map(|q| (q, q)).collect();
         let work = work_for(&lc, &cfg, &tasks);
         assert_eq!(work.len(), 1);
-        let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-        let mut stats = FlashStats::new();
-        let rep = process_lun_work(&work[0], &lc, &cfg, &mut ecc, &mut stats);
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let rep = process_lun_work(&work[0], &lc, &cfg, &ecc).report;
         assert_eq!(rep.page_loads, 1);
         assert_eq!(rep.page_hits, 7);
         assert_eq!(rep.distances, 8);
@@ -266,18 +323,16 @@ mod tests {
             .collect();
         let work = work_for(&lc, &cfg, &tasks);
         assert_eq!(work.len(), 1);
-        let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-        let mut stats = FlashStats::new();
-        let rep = process_lun_work(&work[0], &lc, &cfg, &mut ecc, &mut stats);
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let rep = process_lun_work(&work[0], &lc, &cfg, &ecc).report;
         assert_eq!(rep.page_loads, 8, "every task switches the page buffer");
         assert_eq!(rep.page_hits, 0);
 
         // With dynamic allocating the same tasks load each page once.
         let (lc2, cfg2) = setup(PlacementPolicy::MultiPlaneAware, true);
         let work2 = work_for(&lc2, &cfg2, &tasks);
-        let mut ecc2 = EccEngine::new(&cfg2.geometry, cfg2.ecc);
-        let mut stats2 = FlashStats::new();
-        let rep2 = process_lun_work(&work2[0], &lc2, &cfg2, &mut ecc2, &mut stats2);
+        let ecc2 = EccEngine::new(&cfg2.geometry, cfg2.ecc);
+        let rep2 = process_lun_work(&work2[0], &lc2, &cfg2, &ecc2).report;
         assert_eq!(rep2.page_loads, 2);
         assert_eq!(rep2.page_hits, 6);
     }
@@ -289,9 +344,8 @@ mod tests {
         let (lc, cfg) = setup(PlacementPolicy::MultiPlaneAware, false);
         let tasks: Vec<(u32, VectorId)> = (0..8u32).map(|q| (q, q)).collect();
         let work = work_for(&lc, &cfg, &tasks);
-        let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-        let mut stats = FlashStats::new();
-        let rep = process_lun_work(&work[0], &lc, &cfg, &mut ecc, &mut stats);
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let rep = process_lun_work(&work[0], &lc, &cfg, &ecc).report;
         assert_eq!(rep.page_loads, 1);
         assert_eq!(rep.page_hits, 7);
     }
@@ -304,12 +358,11 @@ mod tests {
         let tasks: Vec<(u32, VectorId)> = (0..32u32).map(|v| (0, v)).collect();
         let work = work_for(&lc, &cfg, &tasks);
         assert_eq!(work.len(), 1);
-        let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-        let mut stats = FlashStats::new();
-        let rep = process_lun_work(&work[0], &lc, &cfg, &mut ecc, &mut stats);
-        assert_eq!(rep.page_loads, 2);
-        assert_eq!(rep.sense_ops, 1, "two planes, one multi-plane op");
-        assert_eq!(stats.multi_plane_ops, 1);
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let out = process_lun_work(&work[0], &lc, &cfg, &ecc);
+        assert_eq!(out.report.page_loads, 2);
+        assert_eq!(out.report.sense_ops, 1, "two planes, one multi-plane op");
+        assert_eq!(out.stats.multi_plane_ops, 1);
     }
 
     #[test]
@@ -322,9 +375,11 @@ mod tests {
         let mut loads = 0;
         let mut senses = 0;
         for w in &work {
-            let rep = process_lun_work(w, &lc, &cfg, &mut ecc, &mut stats);
-            loads += rep.page_loads;
-            senses += rep.sense_ops;
+            let out = process_lun_work(w, &lc, &cfg, &ecc);
+            ecc.apply(&out.ecc);
+            stats.merge(&out.stats);
+            loads += out.report.page_loads;
+            senses += out.report.sense_ops;
         }
         assert_eq!(loads, 2);
         assert_eq!(
@@ -342,9 +397,12 @@ mod tests {
         let work = work_for(&lc, &cfg, &tasks);
         let run = |cfg: &NdsConfig, work: &[LunWork]| {
             let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-            let mut stats = FlashStats::new();
             work.iter()
-                .map(|w| process_lun_work(w, &lc, cfg, &mut ecc, &mut stats).busy_ns)
+                .map(|w| {
+                    let out = process_lun_work(w, &lc, cfg, &ecc);
+                    ecc.apply(&out.ecc);
+                    out.report.busy_ns
+                })
                 .sum::<u64>()
         };
         let clean = run(&cfg, &work);
@@ -355,7 +413,9 @@ mod tests {
 
     #[test]
     fn speculative_tasks_produce_no_result_bytes() {
-        let (lc, cfg) = setup(PlacementPolicy::MultiPlaneAware, true);
+        let (lc, mut cfg) = setup(PlacementPolicy::MultiPlaneAware, true);
+        // Touched planes are only collected for the refresh path.
+        cfg.refresh_read_threshold = 1;
         let work = LunWork {
             lun: lc.lun_of(0),
             tasks: vec![VertexTask {
@@ -365,10 +425,39 @@ mod tests {
                 speculative: true,
             }],
         };
-        let mut ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
-        let mut stats = FlashStats::new();
-        let rep = process_lun_work(&work, &lc, &cfg, &mut ecc, &mut stats);
-        assert_eq!(rep.result_bytes, 0);
-        assert_eq!(rep.page_loads, 1, "speculative loads still cost pages");
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let out = process_lun_work(&work, &lc, &cfg, &ecc);
+        assert_eq!(out.report.result_bytes, 0);
+        assert_eq!(
+            out.report.page_loads, 1,
+            "speculative loads still cost pages"
+        );
+        assert_eq!(out.touched_planes.len(), 1);
+        assert_eq!(out.ecc.decodes, 1);
+    }
+
+    #[test]
+    fn outcome_is_a_pure_delta() {
+        // Processing the same work twice against the same engine snapshot
+        // yields identical outcomes — nothing engine-wide was mutated.
+        let (lc, mut cfg) = setup(PlacementPolicy::MultiPlaneAware, true);
+        cfg.refresh_read_threshold = 1; // collect touched planes too
+        let tasks: Vec<(u32, VectorId)> = (0..32u32).map(|v| (v % 4, v)).collect();
+        let work = work_for(&lc, &cfg, &tasks);
+        let ecc = EccEngine::new(&cfg.geometry, cfg.ecc);
+        let a = process_lun_work(&work[0], &lc, &cfg, &ecc);
+        let b = process_lun_work(&work[0], &lc, &cfg, &ecc);
+        assert_eq!(a, b);
+        assert_eq!(ecc.decode_count(), 0, "the engine snapshot is untouched");
+        // The delta accounts for exactly the work's tasks and pages.
+        assert_eq!(a.touched_planes.len(), work[0].tasks.len());
+        assert_eq!(a.stats.page_reads, a.report.page_loads);
+        assert_eq!(a.ecc.decodes, a.report.page_loads);
+
+        // With refresh disabled the plane list is skipped (hot path).
+        cfg.refresh_read_threshold = 0;
+        let hot = process_lun_work(&work[0], &lc, &cfg, &ecc);
+        assert!(hot.touched_planes.is_empty());
+        assert_eq!(hot.report, a.report);
     }
 }

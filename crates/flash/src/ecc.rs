@@ -11,9 +11,11 @@
 //! hard-decision failure probabilities of {1, 5, 10, 30} % are injected to
 //! evaluate worst-case slowdown (1.23×–1.66× at 30 %).
 
+use std::collections::BTreeMap;
+
 use crate::geometry::{FlashGeometry, PlaneId};
 use crate::timing::Nanos;
-use ndsearch_vector::rng::Pcg32;
+use ndsearch_vector::rng::{Pcg32, SplitMix64};
 
 /// ECC model parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,12 +58,103 @@ impl EccConfig {
     }
 }
 
+/// Mergeable result of a [decoding pass](EccLunPass): per-plane decode
+/// counts plus failure totals, produced *without* mutating the engine.
+///
+/// Deltas merge associatively and commutatively (every field is a sum),
+/// so per-LUN passes computed on worker threads in any order fold into
+/// the same engine state. Apply them with [`EccEngine::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EccDelta {
+    /// `(plane, decode count)` pairs, sorted by plane id.
+    plane_decodes: Vec<(PlaneId, u64)>,
+    /// Total pages decoded in the pass.
+    pub decodes: u64,
+    /// Hard-decision failures (soft-decision fallbacks) in the pass.
+    pub hard_failures: u64,
+}
+
+impl EccDelta {
+    /// Folds `other` into `self` (associative, commutative).
+    pub fn merge(&mut self, other: &EccDelta) {
+        for &(plane, count) in &other.plane_decodes {
+            match self.plane_decodes.binary_search_by_key(&plane, |e| e.0) {
+                Ok(i) => self.plane_decodes[i].1 += count,
+                Err(i) => self.plane_decodes.insert(i, (plane, count)),
+            }
+        }
+        self.decodes += other.decodes;
+        self.hard_failures += other.hard_failures;
+    }
+}
+
+/// A pure per-LUN decoding pass over a read-only [`EccEngine`] snapshot.
+///
+/// The pass indexes each plane's deterministic failure stream at
+/// `engine counter + local counter`, so concurrent passes over *disjoint*
+/// planes (each LUN owns its planes) draw exactly the decisions the
+/// serial path would, regardless of scheduling. Finish with
+/// [`into_delta`](Self::into_delta) and fold the delta back via
+/// [`EccEngine::apply`] before the next pass touches the same planes.
+#[derive(Debug, Clone)]
+pub struct EccLunPass<'a> {
+    engine: &'a EccEngine,
+    counts: BTreeMap<PlaneId, u64>,
+    decodes: u64,
+    hard_failures: u64,
+}
+
+impl EccLunPass<'_> {
+    /// Simulates decoding one page read on `plane`. Returns the added ECC
+    /// latency: hard decode always; plus a soft-decision invocation when
+    /// the injected fault fires.
+    ///
+    /// # Panics
+    /// Panics if the plane index is out of range for the engine's geometry.
+    pub fn decode_page(&mut self, plane: PlaneId) -> Nanos {
+        let base = self.engine.plane_decodes[plane as usize];
+        let local = self.counts.entry(plane).or_insert(0);
+        let index = base + *local;
+        *local += 1;
+        self.decodes += 1;
+        if self.engine.fault_fires(plane, index) {
+            self.hard_failures += 1;
+            self.engine.config.t_hard_decode_ns + self.engine.config.t_soft_decode_ns
+        } else {
+            self.engine.config.t_hard_decode_ns
+        }
+    }
+
+    /// Hard-decision failures this pass has injected so far.
+    pub fn hard_failures(&self) -> u64 {
+        self.hard_failures
+    }
+
+    /// Finishes the pass, yielding its mergeable delta.
+    pub fn into_delta(self) -> EccDelta {
+        EccDelta {
+            plane_decodes: self.counts.into_iter().collect(),
+            decodes: self.decodes,
+            hard_failures: self.hard_failures,
+        }
+    }
+}
+
 /// Per-plane BER state plus deterministic fault injection.
+///
+/// Fault injection is *counter-indexed*: whether the `n`-th decode of a
+/// plane fails is a pure function of `(seed, plane, n)`, so the failure
+/// pattern is independent of the order in which LUNs are processed — the
+/// property the data-parallel round executor relies on for bit-identical
+/// reports at any thread count.
 #[derive(Debug, Clone)]
 pub struct EccEngine {
     config: EccConfig,
-    plane_ber: Vec<f64>,
-    rng: Pcg32,
+    /// Per-plane raw BERs, behind an `Arc` so the per-round snapshot
+    /// clone the parallel executor takes copies only the cursors below.
+    plane_ber: std::sync::Arc<[f64]>,
+    /// Decodes committed per plane (the failure-stream cursor).
+    plane_decodes: Vec<u64>,
     hard_failures: u64,
     decodes: u64,
 }
@@ -72,13 +165,14 @@ impl EccEngine {
     pub fn new(geom: &FlashGeometry, config: EccConfig) -> Self {
         let mut rng = Pcg32::seed_from_u64(config.seed);
         let mu = config.mean_raw_ber.ln();
-        let plane_ber = (0..geom.total_planes())
+        let plane_ber: std::sync::Arc<[f64]> = (0..geom.total_planes())
             .map(|_| (mu + rng.next_gaussian() * config.ber_sigma).exp())
             .collect();
+        let planes = plane_ber.len();
         Self {
             config,
             plane_ber,
-            rng,
+            plane_decodes: vec![0; planes],
             hard_failures: 0,
             decodes: 0,
         }
@@ -102,17 +196,49 @@ impl EccEngine {
         &self.plane_ber
     }
 
-    /// Simulates decoding one page read on `plane`. Returns the added ECC
-    /// latency: hard decode always; plus a soft-decision invocation when
-    /// the injected fault fires.
-    pub fn decode_page(&mut self, _plane: PlaneId) -> Nanos {
-        self.decodes += 1;
-        if self.rng.chance(self.config.hard_decision_failure_prob) {
-            self.hard_failures += 1;
-            self.config.t_hard_decode_ns + self.config.t_soft_decode_ns
-        } else {
-            self.config.t_hard_decode_ns
+    /// Whether the `index`-th decode on `plane` suffers a hard-decision
+    /// failure — a pure hash of `(seed, plane, index)`.
+    fn fault_fires(&self, plane: PlaneId, index: u64) -> bool {
+        let p = self.config.hard_decision_failure_prob;
+        if p <= 0.0 {
+            return false;
         }
+        if p >= 1.0 {
+            return true;
+        }
+        let mut mix = SplitMix64::new(
+            self.config
+                .seed
+                .wrapping_add(u64::from(plane).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        );
+        let u = (mix.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Starts a pure decoding pass against the current counters (see
+    /// [`EccLunPass`]).
+    pub fn begin_lun_pass(&self) -> EccLunPass<'_> {
+        EccLunPass {
+            engine: self,
+            counts: BTreeMap::new(),
+            decodes: 0,
+            hard_failures: 0,
+        }
+    }
+
+    /// Commits a pass's delta, advancing the per-plane failure-stream
+    /// cursors and the engine totals. Deltas over disjoint planes may be
+    /// applied in any order and yield the same state.
+    ///
+    /// # Panics
+    /// Panics if the delta names a plane outside the engine's geometry.
+    pub fn apply(&mut self, delta: &EccDelta) {
+        for &(plane, count) in &delta.plane_decodes {
+            self.plane_decodes[plane as usize] += count;
+        }
+        self.decodes += delta.decodes;
+        self.hard_failures += delta.hard_failures;
     }
 
     /// Number of pages decoded so far.
@@ -164,9 +290,13 @@ mod tests {
         };
         cfg.seed = 7;
         let mut engine = EccEngine::new(&geom, cfg);
+        let mut pass = engine.begin_lun_pass();
         for i in 0..20_000u32 {
-            engine.decode_page(i % geom.total_planes());
+            pass.decode_page(i % geom.total_planes());
         }
+        let delta = pass.into_delta();
+        engine.apply(&delta);
+        assert_eq!(engine.decode_count(), 20_000);
         let p = engine.observed_failure_ratio();
         assert!((p - 0.30).abs() < 0.02, "p = {p}");
     }
@@ -179,13 +309,15 @@ mod tests {
             hard_decision_failure_prob: 1.0,
             ..EccConfig::default()
         };
-        let mut always = EccEngine::new(&geom, cfg);
+        let always = EccEngine::new(&geom, cfg);
         let cfg0 = EccConfig {
             hard_decision_failure_prob: 0.0,
             ..EccConfig::default()
         };
-        let mut never = EccEngine::new(&geom, cfg0);
-        assert!(always.decode_page(0) > never.decode_page(0) + 5_000);
+        let never = EccEngine::new(&geom, cfg0);
+        assert!(
+            always.begin_lun_pass().decode_page(0) > never.begin_lun_pass().decode_page(0) + 5_000
+        );
     }
 
     #[test]
@@ -193,9 +325,86 @@ mod tests {
         let geom = FlashGeometry::tiny();
         let mk = || {
             let mut e = EccEngine::new(&geom, EccConfig::default());
-            (0..100).map(|_| e.decode_page(0)).collect::<Vec<_>>()
+            let mut out = Vec::new();
+            for _ in 0..100 {
+                let mut pass = e.begin_lun_pass();
+                out.push(pass.decode_page(0));
+                e.apply(&pass.into_delta());
+            }
+            out
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn split_passes_match_one_pass() {
+        // Decoding a plane N times in one pass, or spread over several
+        // applied passes, walks the same counter-indexed failure stream.
+        let geom = FlashGeometry::tiny();
+        let cfg = EccConfig {
+            hard_decision_failure_prob: 0.4,
+            ..EccConfig::default()
+        };
+        let one = {
+            let mut e = EccEngine::new(&geom, cfg);
+            let mut pass = e.begin_lun_pass();
+            let lat: Vec<Nanos> = (0..64).map(|_| pass.decode_page(3)).collect();
+            e.apply(&pass.into_delta());
+            (lat, e.hard_failure_count())
+        };
+        let split = {
+            let mut e = EccEngine::new(&geom, cfg);
+            let mut lat = Vec::new();
+            for chunk in [16usize, 1, 40, 7] {
+                let mut pass = e.begin_lun_pass();
+                for _ in 0..chunk {
+                    lat.push(pass.decode_page(3));
+                }
+                e.apply(&pass.into_delta());
+            }
+            (lat, e.hard_failure_count())
+        };
+        assert_eq!(one, split);
+    }
+
+    #[test]
+    fn disjoint_plane_deltas_merge_in_any_order() {
+        // Two passes over disjoint planes taken from the same snapshot —
+        // the data-parallel round shape — commit to identical engine state
+        // regardless of apply order, and merging the deltas first is
+        // equivalent too.
+        let geom = FlashGeometry::tiny();
+        let cfg = EccConfig {
+            hard_decision_failure_prob: 0.5,
+            ..EccConfig::default()
+        };
+        let run = |order_ab: bool, premerge: bool| {
+            let mut e = EccEngine::new(&geom, cfg);
+            let (da, db) = {
+                let mut a = e.begin_lun_pass();
+                let mut b = e.begin_lun_pass();
+                for _ in 0..10 {
+                    a.decode_page(0);
+                    a.decode_page(1);
+                    b.decode_page(2);
+                }
+                (a.into_delta(), b.into_delta())
+            };
+            if premerge {
+                let mut d = da.clone();
+                d.merge(&db);
+                e.apply(&d);
+            } else if order_ab {
+                e.apply(&da);
+                e.apply(&db);
+            } else {
+                e.apply(&db);
+                e.apply(&da);
+            }
+            (e.decode_count(), e.hard_failure_count())
+        };
+        assert_eq!(run(true, false), run(false, false));
+        assert_eq!(run(true, false), run(true, true));
     }
 
     #[test]

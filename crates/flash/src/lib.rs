@@ -43,7 +43,7 @@ pub mod timing;
 pub mod wear;
 
 pub use command::{MultiLunOp, NandCommand, SearchPageInstr};
-pub use ecc::{EccConfig, EccEngine};
+pub use ecc::{EccConfig, EccDelta, EccEngine, EccLunPass};
 pub use ftl::{Ftl, RefreshEvent};
 pub use geometry::{FlashGeometry, LunId, PhysAddr, PlaneId};
 pub use stats::FlashStats;

@@ -3,7 +3,8 @@
 //! Flash memory cells degrade with program/erase cycles; the paper notes
 //! that the probability of hard-decision LDPC failure grows as the device
 //! ages ("flash memory cell storage reliability gradually degrades"), and
-//! quotes \[83\]'s observation that even at mid-late lifetime the failure
+//! quotes the endurance study it cites as reference 83 for the
+//! observation that even at mid-late lifetime the failure
 //! probability stays around 1 %. This module tracks per-block P/E cycles
 //! (refresh is the only writer during the read-only search phase) and maps
 //! wear to a raw-BER growth factor, which feeds the ECC engine's failure
@@ -58,8 +59,9 @@ impl WearModel {
     }
 
     /// Raw BER of a block under its current wear: exponential interpolation
-    /// from `fresh_ber` to `fresh_ber × eol_ber_factor` at rated life
-    /// (the standard retention/endurance fit shape from \[83\]).
+    /// from `fresh_ber` to `fresh_ber × eol_ber_factor` at rated life (the
+    /// standard retention/endurance fit shape from the paper's endurance
+    /// reference).
     pub fn block_raw_ber(&self, plane: PlaneId, block: u32) -> f64 {
         let w = self.wear_ratio(plane, block);
         self.fresh_ber * self.eol_ber_factor.powf(w.min(2.0))

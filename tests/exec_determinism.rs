@@ -1,0 +1,135 @@
+//! Property test: the data-parallel round executor is bit-identical at
+//! any thread count.
+//!
+//! Over randomized datasets, scheduling toggles, ECC failure rates and
+//! seeds, both the batch engine and the serving scheduler must produce
+//! byte-for-byte the same report — latency breakdown, `FlashStats`,
+//! speculation counters, per-query outcomes — at `exec_threads` ∈
+//! {1, 2, 8}. `exec_threads = 1` is the exact legacy sequential path, so
+//! this pins the parallel fan-out to the serial semantics.
+//!
+//! Uses the vendored proptest's deterministic runner directly (engine
+//! runs are too heavy for the default 256-case count).
+
+use proptest::prelude::*;
+use proptest::test_runner::{Config, TestRng};
+
+use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::anns::trace::BatchTrace;
+use ndsearch::anns::vamana::{Vamana, VamanaParams};
+use ndsearch::core::config::NdsConfig;
+use ndsearch::core::engine::NdsEngine;
+use ndsearch::core::pipeline::Prepared;
+use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine};
+use ndsearch::flash::timing::Nanos;
+use ndsearch::vector::synthetic::DatasetSpec;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn random_config(rng: &mut TestRng, n: usize, vector_bytes: usize) -> NdsConfig {
+    let mut config = NdsConfig::scaled_for(n, vector_bytes);
+    config.seed = (0u64..u64::MAX).generate(rng);
+    config.ecc.seed = (0u64..u64::MAX).generate(rng);
+    // Fault injection on in most cases: the counter-indexed ECC streams
+    // are exactly the state that must not depend on worker scheduling.
+    config.ecc.hard_decision_failure_prob = [0.0, 0.05, 0.3][(0usize..3).generate(rng)];
+    config.scheduling.dynamic_allocating = any::<bool>().generate(rng);
+    config.scheduling.speculative = any::<bool>().generate(rng);
+    config.spec_budget_factor = (0.5f64..2.0).generate(rng);
+    // Refresh is deliberately left off: it mutates a private LUNCSR copy
+    // mid-run, so the engine forces the inline executor and the
+    // thread-count comparison would be vacuous (engine-level tests cover
+    // refresh determinism separately).
+    config.refresh_read_threshold = 0;
+    config
+}
+
+#[test]
+fn engine_report_bit_identical_across_thread_counts() {
+    proptest::test_runner::run(
+        Config { cases: 4 },
+        "engine_report_bit_identical_across_thread_counts",
+        |rng| {
+            let n = (250usize..450).generate(rng);
+            let q = (4usize..12).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let index = Vamana::build(&base, VamanaParams::default());
+            let out = index.search_batch(&base, &queries, &SearchParams::default());
+            let mut config = random_config(rng, base.len(), base.stored_vector_bytes());
+            config.max_batch_inflight = (2usize..64).generate(rng);
+            let reports: Vec<_> = THREAD_COUNTS
+                .iter()
+                .map(|&threads| {
+                    let mut c = config.clone();
+                    c.exec_threads = threads;
+                    let prepared = Prepared::stage(&c, index.base_graph(), &base, &out.trace);
+                    NdsEngine::new(&c).run(&prepared)
+                })
+                .collect();
+            prop_assert_eq!(
+                &reports[0],
+                &reports[1],
+                "engine diverged between 1 and 2 threads"
+            );
+            prop_assert_eq!(
+                &reports[0],
+                &reports[2],
+                "engine diverged between 1 and 8 threads"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn serving_report_bit_identical_across_thread_counts() {
+    proptest::test_runner::run(
+        Config { cases: 4 },
+        "serving_report_bit_identical_across_thread_counts",
+        |rng| {
+            let n = (250usize..450).generate(rng);
+            let q = (4usize..12).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let index = Vamana::build(&base, VamanaParams::default());
+            let mut config = random_config(rng, base.len(), base.stored_vector_bytes());
+            // The serving path never mutates the LUNCSR.
+            config.refresh_read_threshold = 0;
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                ..ServeConfig::default()
+            };
+            let interarrival = (0u64..2_000).generate(rng);
+            let prepared =
+                Prepared::stage(&config, index.base_graph(), &base, &BatchTrace::default());
+            let reports: Vec<_> = THREAD_COUNTS
+                .iter()
+                .map(|&threads| {
+                    let mut c = config.clone();
+                    c.exec_threads = threads;
+                    let mut engine =
+                        ServeEngine::new(&c, serve.clone(), &prepared, &base, index.base_graph());
+                    for (i, (_, qv)) in queries.iter().enumerate() {
+                        engine.submit(QueryRequest::at(
+                            i as Nanos * interarrival,
+                            qv.to_vec(),
+                            vec![index.medoid()],
+                        ));
+                    }
+                    engine.run_to_completion()
+                })
+                .collect();
+            prop_assert_eq!(
+                &reports[0],
+                &reports[1],
+                "serving diverged between 1 and 2 threads"
+            );
+            prop_assert_eq!(
+                &reports[0],
+                &reports[2],
+                "serving diverged between 1 and 8 threads"
+            );
+            Ok(())
+        },
+    );
+}
