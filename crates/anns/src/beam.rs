@@ -45,8 +45,14 @@ impl VisitedSet {
     }
 
     /// Marks a vertex; returns `true` if it was not already marked.
+    /// The set grows on demand, so a searcher created before an online
+    /// insert can still visit vertices appended while it was in flight.
     pub fn insert(&mut self, v: VectorId) -> bool {
-        let slot = &mut self.marks[v as usize];
+        let i = v as usize;
+        if i >= self.marks.len() {
+            self.marks.resize(i + 1, 0);
+        }
+        let slot = &mut self.marks[i];
         if *slot == self.epoch {
             false
         } else {
@@ -55,9 +61,10 @@ impl VisitedSet {
         }
     }
 
-    /// Whether a vertex is marked.
+    /// Whether a vertex is marked (vertices beyond the allocated range are
+    /// unmarked by definition).
     pub fn contains(&self, v: VectorId) -> bool {
-        self.marks[v as usize] == self.epoch
+        self.marks.get(v as usize) == Some(&self.epoch)
     }
 }
 

@@ -17,7 +17,9 @@ use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
 use crate::beam::{beam_search, VisitedSet};
-use crate::index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};
+use crate::index::{
+    AnnsAlgorithm, GraphAnnsIndex, InsertReport, MutableIndex, SearchOutput, SearchParams,
+};
 use crate::trace::{BatchTrace, QueryTrace};
 
 /// HNSW construction parameters.
@@ -54,15 +56,35 @@ struct LayerAdj {
 }
 
 /// A built HNSW index.
+///
+/// The mutable adjacency (layer-0 lists and the upper hierarchy) is
+/// retained after construction, so online inserts run the *same* linking
+/// kernel the build loop uses ([`MutableIndex::insert`]); the layer-0 CSR
+/// snapshot lags mutations until [`MutableIndex::sync_base_graph`] folds
+/// them in (one O(V+E) rebuild per batch of inserts, not one per
+/// insert).
 #[derive(Debug, Clone)]
 pub struct Hnsw {
     params: HnswParams,
-    /// Layer 0 adjacency over all vertices.
+    /// Layer 0 adjacency over all vertices (CSR snapshot of `layer0`).
     base: Csr,
+    /// Layer 0 adjacency lists — the mutable source of truth.
+    layer0: Vec<Vec<VectorId>>,
     /// Upper layers (1..) as sparse adjacency.
     upper: Vec<LayerAdj>,
     /// Entry point (a vertex on the top layer).
     entry: VectorId,
+    /// Top layer of the entry point.
+    entry_level: usize,
+    /// Level-sampling stream; online inserts continue where build stopped.
+    level_rng: Pcg32,
+    /// `1 / max(ln M, 0.5)` — the geometric level multiplier.
+    level_mult: f64,
+    /// Tombstones for online deletes.
+    deleted: Vec<bool>,
+    /// Whether `base` lags `layer0` (set by online inserts, cleared by
+    /// [`MutableIndex::sync_base_graph`]).
+    base_dirty: bool,
 }
 
 impl Hnsw {
@@ -73,116 +95,151 @@ impl Hnsw {
     pub fn build(base: &Dataset, params: HnswParams) -> Self {
         assert!(!base.is_empty(), "dataset must not be empty");
         let n = base.len();
-        let mut rng = Pcg32::seed_from_u64(params.seed);
-        let level_mult = 1.0 / (params.m as f64).ln().max(0.5);
-
-        // Sampled top level of each vertex.
-        let levels: Vec<usize> = (0..n)
-            .map(|_| {
-                let u: f64 = rng.next_f64().max(1e-12);
-                ((-u.ln() * level_mult) as usize).min(12)
-            })
-            .collect();
-        let max_level = levels.iter().copied().max().unwrap_or(0);
-
-        let mut layer0: Vec<Vec<VectorId>> = vec![Vec::new(); n];
-        let mut upper: Vec<LayerAdj> = (0..max_level).map(|_| LayerAdj::default()).collect();
-        let mut entry: VectorId = 0;
-        let mut entry_level = levels[0];
-        for layer in upper.iter_mut().take(levels[0]) {
-            layer.lists.insert(0, Vec::new());
+        let mut index = Self {
+            params,
+            base: Csr::from_adjacency(&[]).expect("empty adjacency is valid"),
+            layer0: Vec::with_capacity(n),
+            upper: Vec::new(),
+            entry: 0,
+            entry_level: 0,
+            level_rng: Pcg32::seed_from_u64(params.seed),
+            level_mult: 1.0 / (params.m as f64).ln().max(0.5),
+            deleted: Vec::new(),
+            base_dirty: false,
+        };
+        for v in 0..n as u32 {
+            index.link_next(base, v);
         }
-
-        let dist = params.distance;
-
-        for v in 1..n as u32 {
-            let v_level = levels[v as usize];
-            let q = base.vector(v).to_vec();
-            let mut cur = entry;
-
-            // Greedy descent through layers above v_level.
-            let mut l = entry_level;
-            while l > v_level {
-                if l >= 1 {
-                    cur = greedy_upper(base, &upper[l - 1], &q, cur, dist);
-                }
-                l -= 1;
-            }
-
-            // Insert into layers min(v_level, entry_level) .. 0.
-            let top_insert = v_level.min(entry_level);
-            let mut layer = top_insert;
-            loop {
-                let max_links = if layer == 0 { params.m * 2 } else { params.m };
-                let candidates = if layer == 0 {
-                    search_adj(
-                        base,
-                        |u| layer0[u as usize].as_slice(),
-                        &q,
-                        cur,
-                        params.ef_construction,
-                        dist,
-                    )
-                } else {
-                    let adj = &upper[layer - 1];
-                    search_adj(
-                        base,
-                        |u| adj.lists.get(&u).map(Vec::as_slice).unwrap_or(&[]),
-                        &q,
-                        cur,
-                        params.ef_construction,
-                        dist,
-                    )
-                };
-                let selected = select_neighbors(base, &q, &candidates, params.m, dist);
-                if let Some(best) = selected.first() {
-                    cur = best.id;
-                }
-                for &nb in selected.iter().map(|s| &s.id) {
-                    if layer == 0 {
-                        layer0[v as usize].push(nb);
-                        layer0[nb as usize].push(v);
-                        prune_list(base, nb, &mut layer0[nb as usize], params.m * 2, dist);
-                    } else {
-                        let adj = &mut upper[layer - 1];
-                        adj.lists.entry(v).or_default().push(nb);
-                        adj.lists.entry(nb).or_default().push(v);
-                        let list = adj.lists.get_mut(&nb).expect("just inserted");
-                        prune_hash_list(base, nb, list, max_links, dist);
-                    }
-                }
-                if layer == 0 {
-                    prune_list(base, v, &mut layer0[v as usize], params.m * 2, dist);
-                } else if let Some(list) = upper[layer - 1].lists.get_mut(&v) {
-                    prune_hash_list(base, v, list, max_links, dist);
-                }
-                if layer == 0 {
-                    break;
-                }
-                layer -= 1;
-            }
-
-            if v_level > entry_level {
-                entry = v;
-                entry_level = v_level;
-                for layer in upper.iter_mut().take(v_level) {
-                    layer.lists.entry(v).or_default();
-                }
-            }
-        }
-
-        // Deduplicate layer-0 lists.
-        for list in &mut layer0 {
+        // Deduplicate layer-0 lists (the per-vertex prunes already keep
+        // touched lists sorted; this catches the final unpruned pushes).
+        for list in &mut index.layer0 {
             list.sort_unstable();
             list.dedup();
         }
-        let base_csr = Csr::from_adjacency(&layer0).expect("layer0 ids validated");
-        Self {
-            params,
-            base: base_csr,
-            upper,
-            entry,
+        index.rebuild_base();
+        index
+    }
+
+    /// Samples a vertex's top layer from the geometric distribution.
+    fn sample_level(&mut self) -> usize {
+        let u: f64 = self.level_rng.next_f64().max(1e-12);
+        ((-u.ln() * self.level_mult) as usize).min(12)
+    }
+
+    /// Refreshes the layer-0 CSR snapshot from the adjacency lists.
+    fn rebuild_base(&mut self) {
+        self.base = Csr::from_adjacency(&self.layer0).expect("layer0 ids validated");
+        self.base_dirty = false;
+    }
+
+    /// Appends vertex `v` (the next id) and links it into every layer —
+    /// the construction kernel, shared verbatim by [`Hnsw::build`] and the
+    /// online [`MutableIndex::insert`]. Returns the layer-0 vertices whose
+    /// lists changed.
+    fn link_next(&mut self, base: &Dataset, v: VectorId) -> Vec<VectorId> {
+        let v_level = self.sample_level();
+        self.layer0.push(Vec::new());
+        self.deleted.push(false);
+        if v == 0 {
+            self.entry = 0;
+            self.entry_level = v_level;
+            while self.upper.len() < v_level {
+                self.upper.push(LayerAdj::default());
+            }
+            for layer in self.upper.iter_mut().take(v_level) {
+                layer.lists.insert(0, Vec::new());
+            }
+            return Vec::new();
         }
+
+        let params = self.params;
+        let dist = params.distance;
+        let q = base.vector(v).to_vec();
+        let mut cur = self.entry;
+        let mut repaired = Vec::new();
+
+        // Greedy descent through layers above v_level.
+        let mut l = self.entry_level;
+        while l > v_level {
+            if l >= 1 {
+                cur = greedy_upper(base, &self.upper[l - 1], &q, cur, dist);
+            }
+            l -= 1;
+        }
+
+        // Insert into layers min(v_level, entry_level) .. 0.
+        let top_insert = v_level.min(self.entry_level);
+        let mut layer = top_insert;
+        loop {
+            let max_links = if layer == 0 { params.m * 2 } else { params.m };
+            let candidates = if layer == 0 {
+                let layer0 = &self.layer0;
+                search_adj(
+                    base,
+                    |u| layer0[u as usize].as_slice(),
+                    &q,
+                    cur,
+                    params.ef_construction,
+                    dist,
+                )
+            } else {
+                let adj = &self.upper[layer - 1];
+                search_adj(
+                    base,
+                    |u| adj.lists.get(&u).map(Vec::as_slice).unwrap_or(&[]),
+                    &q,
+                    cur,
+                    params.ef_construction,
+                    dist,
+                )
+            };
+            // Tombstoned vertices may route the descent but never earn
+            // new links (a no-op during build, where nothing is deleted).
+            let live: Vec<Neighbor> = candidates
+                .iter()
+                .copied()
+                .filter(|c| !self.deleted[c.id as usize])
+                .collect();
+            let selected = select_neighbors(base, &q, &live, params.m, dist);
+            if let Some(best) = selected.first() {
+                cur = best.id;
+            }
+            for &nb in selected.iter().map(|s| &s.id) {
+                if layer == 0 {
+                    self.layer0[v as usize].push(nb);
+                    self.layer0[nb as usize].push(v);
+                    prune_list(base, nb, &mut self.layer0[nb as usize], params.m * 2, dist);
+                    repaired.push(nb);
+                } else {
+                    let adj = &mut self.upper[layer - 1];
+                    adj.lists.entry(v).or_default().push(nb);
+                    adj.lists.entry(nb).or_default().push(v);
+                    let list = adj.lists.get_mut(&nb).expect("just inserted");
+                    prune_hash_list(base, nb, list, max_links, dist);
+                }
+            }
+            if layer == 0 {
+                prune_list(base, v, &mut self.layer0[v as usize], params.m * 2, dist);
+            } else if let Some(list) = self.upper[layer - 1].lists.get_mut(&v) {
+                prune_hash_list(base, v, list, max_links, dist);
+            }
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+
+        if v_level > self.entry_level {
+            self.entry = v;
+            self.entry_level = v_level;
+            while self.upper.len() < v_level {
+                self.upper.push(LayerAdj::default());
+            }
+            for layer in self.upper.iter_mut().take(v_level) {
+                layer.lists.entry(v).or_default();
+            }
+        }
+        repaired
     }
 
     /// Construction parameters.
@@ -264,6 +321,46 @@ impl GraphAnnsIndex for Hnsw {
             results,
             trace: BatchTrace { queries: traces },
         }
+    }
+}
+
+impl MutableIndex for Hnsw {
+    fn insert(&mut self, base: &Dataset, id: VectorId) -> InsertReport {
+        assert_eq!(
+            id as usize,
+            self.layer0.len(),
+            "insert must link the next id"
+        );
+        assert_eq!(
+            base.len(),
+            self.layer0.len() + 1,
+            "the vector must already be appended to the dataset"
+        );
+        let repaired = self.link_next(base, id);
+        self.base_dirty = true;
+        InsertReport { id, repaired }
+    }
+
+    fn live_neighbors(&self, id: VectorId) -> &[VectorId] {
+        &self.layer0[id as usize]
+    }
+
+    fn sync_base_graph(&mut self) {
+        if self.base_dirty {
+            self.rebuild_base();
+        }
+    }
+
+    fn delete(&mut self, id: VectorId) -> bool {
+        !std::mem::replace(&mut self.deleted[id as usize], true)
+    }
+
+    fn is_deleted(&self, id: VectorId) -> bool {
+        self.deleted[id as usize]
+    }
+
+    fn live_count(&self) -> usize {
+        self.deleted.iter().filter(|&&d| !d).count()
     }
 }
 
@@ -510,5 +607,100 @@ mod tests {
     #[should_panic(expected = "dataset must not be empty")]
     fn empty_dataset_panics() {
         Hnsw::build(&Dataset::new(4), HnswParams::default());
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild_recall() {
+        let (full, queries) = DatasetSpec::sift_scaled(700, 16).build_pair();
+        let n0 = 550;
+        let mut prefix = Dataset::new(full.dim());
+        for (_, v) in full.iter().take(n0) {
+            prefix.try_push(v).unwrap();
+        }
+        prefix.set_stored_vector_bytes(full.stored_vector_bytes());
+        let mut live = Hnsw::build(&prefix, HnswParams::default());
+        for id in n0..full.len() {
+            prefix.try_push(full.vector(id as VectorId)).unwrap();
+            let rep = live.insert(&prefix, id as VectorId);
+            assert_eq!(rep.id as usize, id);
+        }
+        live.sync_base_graph();
+        assert_eq!(live.base_graph().num_vertices(), full.len());
+        assert!(live.base_graph().max_degree() <= 2 * live.params().m);
+
+        let rebuilt = Hnsw::build(&full, HnswParams::default());
+        let params = SearchParams::new(10, 80, DistanceKind::L2);
+        let gt = ndsearch_vector::recall::ground_truth(&full, &queries, 10, DistanceKind::L2);
+        let r_live = recall_at_k(
+            &gt,
+            &live.search_batch(&full, &queries, &params).id_lists(),
+            10,
+        );
+        let r_rebuilt = recall_at_k(
+            &gt,
+            &rebuilt.search_batch(&full, &queries, &params).id_lists(),
+            10,
+        );
+        assert!(
+            r_live >= r_rebuilt - 0.02,
+            "live overlay recall {r_live} trails rebuild {r_rebuilt} by more than 0.02"
+        );
+    }
+
+    #[test]
+    fn restructured_build_matches_incremental_prefix() {
+        // Building on n vectors must equal building on a prefix and
+        // inserting the rest — the build loop and the online insert are
+        // the same kernel consuming the same level-sampling stream.
+        let ds = DatasetSpec::glove_scaled(260, 1).build();
+        let whole = Hnsw::build(&ds, HnswParams::default());
+        let mut prefix = Dataset::new(ds.dim());
+        for (_, v) in ds.iter().take(200) {
+            prefix.try_push(v).unwrap();
+        }
+        let mut grown = Hnsw::build(&prefix, HnswParams::default());
+        for id in 200..ds.len() {
+            prefix.try_push(ds.vector(id as VectorId)).unwrap();
+            grown.insert(&prefix, id as VectorId);
+        }
+        grown.sync_base_graph();
+        // The graphs are not byte-identical (the final build pass dedups
+        // globally while inserts dedup incrementally), but the entry point
+        // and vertex/degree structure must line up.
+        assert_eq!(grown.entry_point(), whole.entry_point());
+        assert_eq!(grown.num_upper_layers(), whole.num_upper_layers());
+        assert_eq!(
+            grown.base_graph().num_vertices(),
+            whole.base_graph().num_vertices()
+        );
+    }
+
+    #[test]
+    fn inserts_avoid_linking_to_tombstones() {
+        let mut ds = DatasetSpec::sift_scaled(150, 1).build();
+        let mut index = Hnsw::build(&ds, HnswParams::default());
+        for v in 0..20u32 {
+            index.delete(v);
+        }
+        let v = ds.vector(30).to_vec();
+        let id = ds.try_push(&v).unwrap();
+        let rep = index.insert(&ds, id);
+        index.sync_base_graph();
+        for &nb in index.base_graph().neighbors(id) {
+            assert!(!index.is_deleted(nb), "linked to tombstoned {nb}");
+        }
+        for &r in &rep.repaired {
+            assert!(!index.is_deleted(r), "repaired a tombstoned vertex {r}");
+        }
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let ds = DatasetSpec::sift_scaled(120, 1).build();
+        let mut index = Hnsw::build(&ds, HnswParams::default());
+        assert!(index.delete(3));
+        assert!(!index.delete(3));
+        assert!(index.is_deleted(3));
+        assert_eq!(index.live_count(), 119);
     }
 }

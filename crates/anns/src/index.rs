@@ -112,6 +112,71 @@ pub trait GraphAnnsIndex {
     ) -> SearchOutput;
 }
 
+/// Record of one incremental insert: the vertex linked and the existing
+/// vertices whose adjacency was rewritten by backlink repair. The serving
+/// layer patches the flash-resident graph overlay for exactly the
+/// `repaired` set, so this doubles as the update's write-amplification
+/// footprint at the graph-metadata level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertReport {
+    /// The vertex that was linked in.
+    pub id: VectorId,
+    /// Existing vertices whose neighbor lists changed.
+    pub repaired: Vec<VectorId>,
+}
+
+/// Extension of [`GraphAnnsIndex`] for deployments that mutate online:
+/// incremental insert — reusing the algorithm's construction kernels
+/// (HNSW's select-neighbors heuristic, Vamana's RobustPrune with backlink
+/// repair) — and tombstone delete.
+///
+/// The contract mirrors a serving ingest path: the caller appends the
+/// vector to its dataset first, then links the returned id into the graph.
+/// Deletes only tombstone: the vertex stays routable (searches may pass
+/// through it) until a compaction drops it, so recall on the live set
+/// degrades gracefully under churn.
+pub trait MutableIndex: GraphAnnsIndex {
+    /// Links vertex `id` — which must already be the last vector of
+    /// `base` — into the live graph and returns which existing vertices'
+    /// adjacency was repaired.
+    ///
+    /// Inserts mutate the live adjacency lists only; the
+    /// [`base_graph`](GraphAnnsIndex::base_graph) CSR snapshot lags until
+    /// [`sync_base_graph`](Self::sync_base_graph) is called, so a burst
+    /// of inserts pays one O(V+E) rebuild, not one per insert. Read
+    /// current adjacency through
+    /// [`live_neighbors`](Self::live_neighbors) in the meantime.
+    ///
+    /// # Panics
+    /// Panics if `id` is not the next id (`base.len() - 1` and one past
+    /// the current graph).
+    fn insert(&mut self, base: &Dataset, id: VectorId) -> InsertReport;
+
+    /// Neighbor list of a vertex read from the live mutable adjacency —
+    /// always current, even while the CSR snapshot is stale.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    fn live_neighbors(&self, id: VectorId) -> &[VectorId];
+
+    /// Rebuilds the [`base_graph`](GraphAnnsIndex::base_graph) CSR
+    /// snapshot if inserts are pending (a no-op otherwise). The serving
+    /// layer calls this once per scheduling round.
+    fn sync_base_graph(&mut self);
+
+    /// Tombstones a vertex. Returns `false` if it was already deleted.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    fn delete(&mut self, id: VectorId) -> bool;
+
+    /// Whether a vertex has been tombstoned.
+    fn is_deleted(&self, id: VectorId) -> bool;
+
+    /// Vertices that are present and not tombstoned.
+    fn live_count(&self) -> usize;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,7 +16,9 @@ use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
 use crate::beam::{beam_search, VisitedSet};
-use crate::index::{AnnsAlgorithm, GraphAnnsIndex, SearchOutput, SearchParams};
+use crate::index::{
+    AnnsAlgorithm, GraphAnnsIndex, InsertReport, MutableIndex, SearchOutput, SearchParams,
+};
 use crate::trace::BatchTrace;
 
 /// Vamana construction parameters.
@@ -47,11 +49,26 @@ impl Default for VamanaParams {
 }
 
 /// A built Vamana/DiskANN index.
+///
+/// The adjacency lists are retained after construction so online inserts
+/// can run the same greedy-search + RobustPrune kernel the build passes
+/// use, repairing backlinks of affected vertices
+/// ([`MutableIndex::insert`]); the CSR snapshot lags mutations until
+/// [`MutableIndex::sync_base_graph`] folds them in (one O(V+E) rebuild
+/// per batch of inserts, not one per insert).
 #[derive(Debug, Clone)]
 pub struct Vamana {
     params: VamanaParams,
+    /// CSR snapshot of `adj`.
     graph: Csr,
+    /// Mutable adjacency — the source of truth.
+    adj: Vec<Vec<VectorId>>,
     medoid: VectorId,
+    /// Tombstones for online deletes.
+    deleted: Vec<bool>,
+    /// Whether `graph` lags `adj` (set by online inserts, cleared by
+    /// [`MutableIndex::sync_base_graph`]).
+    graph_dirty: bool,
 }
 
 impl Vamana {
@@ -117,10 +134,14 @@ impl Vamana {
         }
 
         let graph = Csr::from_adjacency(&adj).expect("ids validated during build");
+        let deleted = vec![false; n];
         Self {
             params,
             graph,
+            adj,
             medoid,
+            deleted,
+            graph_dirty: false,
         }
     }
 
@@ -132,6 +153,75 @@ impl Vamana {
     /// The medoid used as the search entry point.
     pub fn medoid(&self) -> VectorId {
         self.medoid
+    }
+}
+
+impl MutableIndex for Vamana {
+    fn insert(&mut self, base: &Dataset, id: VectorId) -> InsertReport {
+        assert_eq!(id as usize, self.adj.len(), "insert must link the next id");
+        assert_eq!(
+            base.len(),
+            self.adj.len() + 1,
+            "the vector must already be appended to the dataset"
+        );
+        let params = self.params;
+        let dist = params.distance;
+        self.adj.push(Vec::new());
+        self.deleted.push(false);
+        let q = base.vector(id);
+        // Greedy-search the live graph from the medoid with the new vector
+        // as the query — exactly the build pass — then RobustPrune the
+        // visited pool into the vertex's out-list. Tombstoned vertices stay
+        // routable mid-search but are not linked to.
+        let visited = search_collect(base, &self.adj, q, self.medoid, params.l_build, dist);
+        let pool: Vec<Neighbor> = visited
+            .into_iter()
+            .filter(|nb| nb.id != id && !self.deleted[nb.id as usize])
+            .collect();
+        let pruned = robust_prune(base, id, pool, params.alpha, params.r, dist);
+        self.adj[id as usize] = pruned.clone();
+        // Backlink repair: every selected neighbor gains an edge to `id`,
+        // re-pruned when its list overflows R.
+        let mut repaired = Vec::new();
+        for nb in pruned {
+            if !self.adj[nb as usize].contains(&id) {
+                self.adj[nb as usize].push(id);
+                if self.adj[nb as usize].len() > params.r {
+                    let pool: Vec<Neighbor> = self.adj[nb as usize]
+                        .iter()
+                        .map(|&u| Neighbor::new(dist.eval(base.vector(nb), base.vector(u)), u))
+                        .collect();
+                    self.adj[nb as usize] =
+                        robust_prune(base, nb, pool, params.alpha, params.r, dist);
+                }
+                repaired.push(nb);
+            }
+        }
+        self.graph_dirty = true;
+        InsertReport { id, repaired }
+    }
+
+    fn live_neighbors(&self, id: VectorId) -> &[VectorId] {
+        &self.adj[id as usize]
+    }
+
+    fn sync_base_graph(&mut self) {
+        if self.graph_dirty {
+            self.graph = Csr::from_adjacency(&self.adj).expect("ids validated during insert");
+            self.graph_dirty = false;
+        }
+    }
+
+    fn delete(&mut self, id: VectorId) -> bool {
+        !std::mem::replace(&mut self.deleted[id as usize], true)
+    }
+
+    fn is_deleted(&self, id: VectorId) -> bool {
+        self.deleted[id as usize]
+    }
+
+    fn live_count(&self) -> usize {
+        self.deleted.iter().filter(|&&d| !d).count()
     }
 }
 
@@ -323,6 +413,81 @@ mod tests {
         let kept = robust_prune(&ds, 0, pool, 1.2, 8, DistanceKind::L2);
         assert!(kept.len() <= 8);
         assert!(!kept.contains(&0));
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild_recall() {
+        // Build on a prefix, insert the rest online, and compare recall on
+        // the live overlay with a from-scratch rebuild at equal parameters.
+        let (full, queries) = DatasetSpec::deep_scaled(700, 16).build_pair();
+        let n0 = 550;
+        let mut prefix = Dataset::new(full.dim());
+        for (_, v) in full.iter().take(n0) {
+            prefix.try_push(v).unwrap();
+        }
+        prefix.set_stored_vector_bytes(full.stored_vector_bytes());
+        let mut live = Vamana::build(&prefix, VamanaParams::default());
+        for id in n0..full.len() {
+            prefix.try_push(full.vector(id as VectorId)).unwrap();
+            let rep = live.insert(&prefix, id as VectorId);
+            assert_eq!(rep.id as usize, id);
+            assert!(!rep.repaired.is_empty(), "insert {id} linked no backedges");
+        }
+        live.sync_base_graph();
+        assert_eq!(live.base_graph().num_vertices(), full.len());
+        assert!(live.base_graph().max_degree() <= live.params().r + 1);
+
+        let rebuilt = Vamana::build(&full, VamanaParams::default());
+        let params = SearchParams::new(10, 80, DistanceKind::L2);
+        let gt = ground_truth(&full, &queries, 10, DistanceKind::L2);
+        let r_live = recall_at_k(
+            &gt,
+            &live.search_batch(&full, &queries, &params).id_lists(),
+            10,
+        );
+        let r_rebuilt = recall_at_k(
+            &gt,
+            &rebuilt.search_batch(&full, &queries, &params).id_lists(),
+            10,
+        );
+        assert!(
+            r_live >= r_rebuilt - 0.02,
+            "live overlay recall {r_live} trails rebuild {r_rebuilt} by more than 0.02"
+        );
+    }
+
+    #[test]
+    fn delete_tombstones_without_unlinking() {
+        let ds = DatasetSpec::sift_scaled(200, 1).build();
+        let mut index = Vamana::build(&ds, VamanaParams::default());
+        assert_eq!(index.live_count(), 200);
+        assert!(index.delete(7));
+        assert!(!index.delete(7), "double delete is a no-op");
+        assert!(index.is_deleted(7));
+        assert_eq!(index.live_count(), 199);
+        // The vertex stays routable: the graph still holds its edges.
+        assert!(!index.base_graph().neighbors(7).is_empty());
+    }
+
+    #[test]
+    fn inserts_avoid_linking_to_tombstones() {
+        let mut ds = DatasetSpec::sift_scaled(150, 1).build();
+        let mut index = Vamana::build(&ds, VamanaParams::default());
+        for v in 0..20u32 {
+            index.delete(v);
+        }
+        let v = ds.vector(30).to_vec();
+        let id = ds.try_push(&v).unwrap();
+        index.insert(&ds, id);
+        assert_eq!(index.live_neighbors(id), {
+            let mut ix = index.clone();
+            ix.sync_base_graph();
+            ix.base_graph().neighbors(id).to_vec()
+        });
+        index.sync_base_graph();
+        for &nb in index.base_graph().neighbors(id) {
+            assert!(!index.is_deleted(nb), "linked to tombstoned {nb}");
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the online-update serving path: insert-only
+//! ingest, delete-heavy churn, and mixed 90/10 query/update serving over
+//! a mutable deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::deploy::Deployment;
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::VectorId;
+
+const N_BASE: usize = 1000;
+const N_EXTRA: usize = 64;
+
+struct Fixture {
+    base: ndsearch_vector::Dataset,
+    extra: ndsearch_vector::Dataset,
+    index: Vamana,
+    medoid: VectorId,
+    config: NdsConfig,
+}
+
+fn fixture() -> Fixture {
+    let (base, extra) = DatasetSpec::sift_scaled(N_BASE, N_EXTRA).build_pair();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let medoid = index.medoid();
+    let mut config = NdsConfig::scaled_for(2 * N_BASE, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    Fixture {
+        base,
+        extra,
+        index,
+        medoid,
+        config,
+    }
+}
+
+fn engine<'a>(fx: &'a Fixture, serve: ServeConfig) -> ServeEngine<'a> {
+    let deploy = Deployment::stage(&fx.config, Box::new(fx.index.clone()), fx.base.clone());
+    ServeEngine::with_deployment(&fx.config, serve, deploy)
+}
+
+fn bench_insert_only(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("updates_insert_only_64", |b| {
+        b.iter(|| {
+            let mut eng = engine(&fx, ServeConfig::default());
+            for (_, v) in fx.extra.iter() {
+                eng.submit_update(UpdateRequest::insert_at(0, v.to_vec()));
+            }
+            let report = eng.run_to_completion();
+            black_box((report.update_qps(), report.updates.pages_programmed))
+        })
+    });
+}
+
+fn bench_delete_heavy(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("updates_delete_heavy_256", |b| {
+        b.iter(|| {
+            let mut eng = engine(&fx, ServeConfig::default());
+            for i in 0..256u32 {
+                eng.submit_update(UpdateRequest::delete_at(0, (i * 3) % N_BASE as u32));
+            }
+            let report = eng.run_to_completion();
+            black_box(report.updates_completed())
+        })
+    });
+}
+
+fn bench_mixed_90_10(c: &mut Criterion) {
+    // 90/10 query/update mix (and the inverse), interleaved arrivals.
+    let fx = fixture();
+    let mut g = c.benchmark_group("serve_mixed");
+    for (name, queries, updates) in [("90q_10u", 58usize, 6usize), ("10q_90u", 6, 58)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eng = engine(
+                    &fx,
+                    ServeConfig {
+                        max_inflight: 16,
+                        ..ServeConfig::default()
+                    },
+                );
+                for i in 0..queries {
+                    let q = fx.extra.vector((i % fx.extra.len()) as u32);
+                    eng.submit(QueryRequest::at(
+                        i as u64 * 1_000,
+                        q.to_vec(),
+                        vec![fx.medoid],
+                    ));
+                }
+                for i in 0..updates {
+                    if i % 4 == 3 {
+                        eng.submit_update(UpdateRequest::delete_at(
+                            i as u64 * 1_500,
+                            (i as u32 * 17) % N_BASE as u32,
+                        ));
+                    } else {
+                        let v = fx.extra.vector((i % fx.extra.len()) as u32);
+                        eng.submit_update(UpdateRequest::insert_at(i as u64 * 1_500, v.to_vec()));
+                    }
+                }
+                let report = eng.run_to_completion();
+                black_box((report.qps(), report.update_qps()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_only,
+    bench_delete_heavy,
+    bench_mixed_90_10
+);
+criterion_main!(benches);

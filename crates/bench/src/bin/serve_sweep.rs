@@ -8,9 +8,12 @@
 //! Part 3 sweeps the host-side round executor (`NdsConfig::exec_threads`)
 //! on the N = 64 closed-load workload: wall-clock simulation time per
 //! thread count, speedup vs the sequential path, and a bit-identity check
-//! of the reports — then writes a machine-readable `BENCH_serving.json`
-//! snapshot (QPS, p50/p99, wall-clock sim throughput) to seed the perf
-//! trajectory across PRs.
+//! of the reports. Part 4 serves mixed query+update traffic over a
+//! *mutable* deployment (online inserts and tombstone deletes as update
+//! sessions), reporting update throughput, flash pages programmed and
+//! write amplification. A machine-readable `BENCH_serving.json` snapshot
+//! (QPS, p50/p99, wall-clock sim throughput, update-throughput fields)
+//! seeds the perf trajectory across PRs.
 //!
 //! Scale knobs: `NDS_N` (base vectors), `NDS_K` (top-k), `NDS_BENCH_JSON`
 //! (snapshot path, default `BENCH_serving.json`).
@@ -22,7 +25,7 @@ use ndsearch_anns::vamana::{Vamana, VamanaParams};
 use ndsearch_bench::{env_usize, f, print_table};
 use ndsearch_core::config::NdsConfig;
 use ndsearch_core::pipeline::Prepared;
-use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport};
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport, UpdateRequest};
 use ndsearch_flash::timing::Nanos;
 use ndsearch_vector::recall::{ground_truth, recall_at_k};
 use ndsearch_vector::rng::Pcg32;
@@ -238,18 +241,96 @@ fn main() {
         &rows,
     );
 
+    // ---- Part 4: mixed query+update serving (mutable deployment). ----
+    // Inserts append through the FTL's page-program path and deletes
+    // tombstone; update throughput and write amplification come out of
+    // the same report as query QPS.
+    let mut mut_config = NdsConfig::scaled_for(base.len() * 2, base.stored_vector_bytes());
+    mut_config.ecc.hard_decision_failure_prob = 0.0;
+    let mut rows = Vec::new();
+    let mut snapshot_mixed: Vec<String> = Vec::new();
+    for (label, nq, nu) in [
+        ("90/10", 58usize, 6usize),
+        ("50/50", 32, 32),
+        ("10/90", 6, 58),
+    ] {
+        let deploy = ndsearch_core::deploy::Deployment::stage(
+            &mut_config,
+            Box::new(index.clone()),
+            base.clone(),
+        );
+        let serve = ServeConfig {
+            max_inflight: 16,
+            ..serve_base.clone()
+        };
+        let mut engine = ServeEngine::with_deployment(&mut_config, serve, deploy);
+        for i in 0..nq {
+            let q = queries.vector((i % queries.len()) as u32);
+            engine.submit(QueryRequest::at(
+                i as Nanos * 1_000,
+                q.to_vec(),
+                vec![index.medoid()],
+            ));
+        }
+        for i in 0..nu {
+            if i % 4 == 3 {
+                engine.submit_update(UpdateRequest::delete_at(
+                    i as Nanos * 1_500,
+                    (i as u32 * 13) % base.len() as u32,
+                ));
+            } else {
+                let v = queries.vector((i % queries.len()) as u32);
+                engine.submit_update(UpdateRequest::insert_at(i as Nanos * 1_500, v.to_vec()));
+            }
+        }
+        let report = engine.run_to_completion();
+        assert_eq!(report.completed(), nq, "mixed {label}: queries dropped");
+        assert_eq!(
+            report.updates_completed(),
+            nu,
+            "mixed {label}: updates dropped"
+        );
+        snapshot_mixed.push(format!(
+            "{{\"mix\": \"{label}\", \"queries\": {nq}, \"updates\": {nu}, \
+             \"qps\": {:.1}, \"update_qps\": {:.1}, \"pages_programmed\": {}, \
+             \"blocks_erased\": {}, \"write_amplification\": {:.2}, \"program_ms\": {:.3}}}",
+            report.qps(),
+            report.update_qps(),
+            report.updates.pages_programmed,
+            report.updates.blocks_erased,
+            report.write_amplification(),
+            report.breakdown.program_ns as f64 / 1e6,
+        ));
+        rows.push(vec![
+            label.to_string(),
+            format!("{nq}/{nu}"),
+            f(report.qps() / 1e3, 1),
+            f(report.update_qps() / 1e3, 1),
+            report.updates.pages_programmed.to_string(),
+            f(report.write_amplification(), 2),
+            f(report.breakdown.program_ns as f64 / 1e6, 2),
+        ]);
+    }
+    print_table(
+        "Mixed query+update serving (mutable deployment, 16 slots)",
+        &["mix", "q/u", "kQPS", "kUPS", "pages", "W-amp", "prog ms"],
+        &rows,
+    );
+
     // ---- Machine-readable snapshot for the perf trajectory. ----
     let path = std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_serving.json".to_string());
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"n_base\": {n},\n  \"k\": {k},\n  \
          \"host_threads_available\": {avail},\n  \"closed_load\": [\n    {closed}\n  ],\n  \
-         \"exec_threads_sweep\": [\n    {threads}\n  ],\n  \"speedup_4t_vs_1t\": {speedup:.2}\n}}\n",
+         \"exec_threads_sweep\": [\n    {threads}\n  ],\n  \"speedup_4t_vs_1t\": {speedup:.2},\n  \
+         \"mixed_serving\": [\n    {mixed}\n  ]\n}}\n",
         n = n,
         k = k,
         avail = std::thread::available_parallelism().map_or(1, |p| p.get()),
         closed = snapshot_closed.join(",\n    "),
         threads = snapshot_threads.join(",\n    "),
         speedup = speedup_4t,
+        mixed = snapshot_mixed.join(",\n    "),
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote bench snapshot to {path}"),

@@ -1,0 +1,619 @@
+//! Versioned, mutable deployments: online insert/delete as a first-class
+//! serving workload.
+//!
+//! The offline pipeline ([`crate::pipeline::Prepared`]) stages a build-once
+//! snapshot; a deployed system serving live traffic ingests vectors
+//! continuously. A [`Deployment`] bundles everything that must evolve
+//! together when it does:
+//!
+//! * the **live index** — any [`MutableIndex`] (HNSW, Vamana) whose
+//!   construction kernels also drive incremental inserts;
+//! * the **dataset** — construction-order vectors, appended by
+//!   [`Dataset::try_push`];
+//! * the **staged overlay** — the flash-resident LUNCSR as a read-mostly
+//!   base plus append-only delta ([`ndsearch_graph::luncsr::LunCsr`]),
+//!   kept in lock-step with the index through adjacency patches and an
+//!   identity-extended permutation;
+//! * the **flash write path** — every insert appends its vector through
+//!   the FTL as a page program, charging tPROG latency
+//!   ([`ndsearch_flash::timing::FlashTiming::t_program_page_ns`]) and wear
+//!   ([`ndsearch_flash::wear::WearModel`]); compaction erases the old
+//!   blocks and rewrites a fresh base.
+//!
+//! The dataset/graph/prepared views are held in [`Arc`]s: each scheduling
+//! round of the serving engine snapshots them into its worker jobs, so
+//! updates applied between rounds never race a search — and because the
+//! snapshots are taken at deterministic round boundaries, mixed
+//! query+update serving stays bit-identical at any
+//! [`crate::config::NdsConfig::exec_threads`].
+
+use std::sync::Arc;
+
+use ndsearch_anns::index::MutableIndex;
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_flash::ftl::Ftl;
+use ndsearch_flash::timing::Nanos;
+use ndsearch_flash::wear::WearModel;
+use ndsearch_graph::csr::Csr;
+use ndsearch_vector::dataset::{Dataset, ShapeError};
+use ndsearch_vector::VectorId;
+
+use crate::config::NdsConfig;
+use crate::pipeline::Prepared;
+
+/// Running totals of the update write path, surfaced by the serving
+/// report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UpdateTotals {
+    /// Vectors inserted online.
+    pub inserts: u64,
+    /// Vertices tombstoned online.
+    pub deletes: u64,
+    /// NAND pages programmed by the append path.
+    pub pages_programmed: u64,
+    /// Blocks erased (compaction).
+    pub blocks_erased: u64,
+    /// Flash program/erase time charged.
+    pub program_ns: Nanos,
+    /// User payload bytes ingested (vector bytes, before padding).
+    pub user_bytes: u64,
+    /// Bytes physically programmed into NAND (whole pages).
+    pub flash_bytes: u64,
+}
+
+impl UpdateTotals {
+    /// Write amplification: flash bytes programmed per user byte ingested
+    /// (0 while nothing has been programmed).
+    pub fn write_amplification(&self) -> f64 {
+        if self.user_bytes == 0 {
+            0.0
+        } else {
+            self.flash_bytes as f64 / self.user_bytes as f64
+        }
+    }
+}
+
+/// Why an online insert was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertError {
+    /// The vector's dimensionality mismatches the dataset's.
+    Shape(ShapeError),
+    /// The configured flash geometry has no free slot left; the
+    /// deployment needs a larger geometry or an offline rebuild.
+    DeviceFull,
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::Shape(e) => e.fmt(f),
+            InsertError::DeviceFull => f.write_str("device full: no free flash slot"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+impl From<ShapeError> for InsertError {
+    fn from(e: ShapeError) -> Self {
+        InsertError::Shape(e)
+    }
+}
+
+/// Cost and effect of one applied update, in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedUpdate {
+    /// Construction-order id assigned (inserts) or deleted.
+    pub id: VectorId,
+    /// Vertices whose adjacency was rewritten by backlink repair.
+    pub repaired: usize,
+    /// Pages programmed by this update (0 until the open page fills).
+    pub pages_programmed: u64,
+    /// Simulated time the update occupied the device (program + metadata
+    /// bookkeeping), charged after the round that admitted it.
+    pub duration_ns: Nanos,
+    /// Of which: flash program time.
+    pub program_ns: Nanos,
+}
+
+/// What a compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Physical blocks erased (the old overlay's footprint).
+    pub blocks_erased: u64,
+    /// Pages programmed rewriting the fresh base.
+    pub pages_programmed: u64,
+    /// Simulated duration (erases and programs overlap across planes,
+    /// serialize within one).
+    pub duration_ns: Nanos,
+}
+
+/// A versioned, mutable deployment (see the [module docs](self)).
+pub struct Deployment {
+    /// The live index; `None` for query-only deployments staged from
+    /// borrowed parts (updates are rejected).
+    index: Option<Box<dyn MutableIndex>>,
+    dataset: Arc<Dataset>,
+    graph: Arc<Csr>,
+    /// Whether `graph` lags the index (inserts mark it dirty; the
+    /// snapshot is refreshed once per round, not once per update).
+    graph_dirty: bool,
+    prepared: Arc<Prepared>,
+    ftl: Ftl,
+    wear: WearModel,
+    totals: UpdateTotals,
+    /// Vector slots accumulated in the controller's open append page; the
+    /// page program fires when it fills.
+    open_slots: u32,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("mutable", &self.index.is_some())
+            .field("vertices", &self.dataset.len())
+            .field("delta", &self.prepared.luncsr.delta_vertices())
+            .field("tombstones", &self.prepared.luncsr.tombstone_count())
+            .field("totals", &self.totals)
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Stages a mutable deployment: runs the offline pipeline over the
+    /// index's current base graph and takes ownership of index + dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset and index disagree on vertex count or the
+    /// dataset does not fit the configured geometry.
+    pub fn stage(config: &NdsConfig, index: Box<dyn MutableIndex>, dataset: Dataset) -> Self {
+        let prepared =
+            Prepared::stage(config, index.base_graph(), &dataset, &BatchTrace::default());
+        let graph = Arc::new(index.base_graph().clone());
+        let open_slots =
+            (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+        Self {
+            index: Some(index),
+            graph,
+            graph_dirty: false,
+            prepared: Arc::new(prepared),
+            dataset: Arc::new(dataset),
+            ftl: Ftl::new(config.geometry, config.seed ^ 0x5EED),
+            wear: WearModel::new(config.geometry),
+            totals: UpdateTotals::default(),
+            open_slots,
+        }
+    }
+
+    /// Wraps already-staged parts into a query-only deployment (the
+    /// legacy serving path); updates are rejected.
+    pub fn from_parts(
+        config: &NdsConfig,
+        prepared: Prepared,
+        dataset: Dataset,
+        graph: Csr,
+    ) -> Self {
+        let open_slots =
+            (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+        Self {
+            index: None,
+            graph: Arc::new(graph),
+            graph_dirty: false,
+            prepared: Arc::new(prepared),
+            dataset: Arc::new(dataset),
+            ftl: Ftl::new(config.geometry, config.seed ^ 0x5EED),
+            wear: WearModel::new(config.geometry),
+            totals: UpdateTotals::default(),
+            open_slots,
+        }
+    }
+
+    /// Whether this deployment accepts updates.
+    pub fn is_mutable(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The construction-order dataset snapshot.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The live construction-order graph snapshot. May lag the index by
+    /// the updates applied since the last
+    /// [`refresh_graph`](Self::refresh_graph) — the serving engine
+    /// refreshes once per round boundary.
+    pub fn graph(&self) -> &Arc<Csr> {
+        &self.graph
+    }
+
+    /// Re-snapshots the graph from the live index if any insert has been
+    /// applied since the last refresh (one O(V+E) copy per *round* with
+    /// updates, instead of one per update).
+    pub fn refresh_graph(&mut self) {
+        if self.graph_dirty {
+            if let Some(index) = self.index.as_mut() {
+                index.sync_base_graph();
+                self.graph = Arc::new(index.base_graph().clone());
+            }
+            self.graph_dirty = false;
+        }
+    }
+
+    /// The staged physical overlay snapshot.
+    pub fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
+    }
+
+    /// The live index, if this deployment is mutable.
+    pub fn index(&self) -> Option<&dyn MutableIndex> {
+        self.index.as_deref()
+    }
+
+    /// Update write-path totals so far.
+    pub fn totals(&self) -> UpdateTotals {
+        self.totals
+    }
+
+    /// The wear model charged by the update write path.
+    pub fn wear(&self) -> &WearModel {
+        &self.wear
+    }
+
+    /// Whether a construction-order vertex has been tombstoned.
+    pub fn is_deleted(&self, id: VectorId) -> bool {
+        self.index
+            .as_deref()
+            .is_some_and(|ix| (id as usize) < self.dataset.len() && ix.is_deleted(id))
+    }
+
+    /// Vertices present and not tombstoned.
+    pub fn live_count(&self) -> usize {
+        self.index
+            .as_deref()
+            .map_or(self.dataset.len(), MutableIndex::live_count)
+    }
+
+    /// Applies one online insert: appends the vector, links it through the
+    /// index's incremental-construction kernel, extends the flash overlay
+    /// (delta append + backlink patches), and routes the page program
+    /// through the FTL — charging tPROG latency when the open append page
+    /// fills, and one block P/E cycle when the append opens a fresh
+    /// (erased) block.
+    ///
+    /// The [`graph`](Self::graph) snapshot is *not* refreshed here — the
+    /// serving engine calls [`refresh_graph`](Self::refresh_graph) once
+    /// per round boundary, so a burst of updates pays one graph copy, not
+    /// one per update.
+    ///
+    /// # Errors
+    /// Returns [`InsertError::Shape`] on a dimensionality mismatch and
+    /// [`InsertError::DeviceFull`] when the geometry has no free slot —
+    /// both surface as rejected update sessions, not panics.
+    pub fn insert(
+        &mut self,
+        config: &NdsConfig,
+        vector: &[f32],
+    ) -> Result<AppliedUpdate, InsertError> {
+        assert!(self.index.is_some(), "insert on an immutable deployment");
+        {
+            let mapping = self.prepared.luncsr.mapping();
+            if mapping.len() as u64 >= mapping.capacity_slots() {
+                return Err(InsertError::DeviceFull);
+            }
+        }
+        let id = Arc::make_mut(&mut self.dataset).try_push(vector)?;
+        let index = self.index.as_mut().expect("checked above");
+        let report = index.insert(&self.dataset, id);
+        self.graph_dirty = true;
+
+        // ---- Extend the staged overlay in lock-step, reading the live
+        // adjacency lists (the CSR snapshot lags until the next round
+        // boundary — no O(V+E) rebuild per update). ----
+        let prepared = Arc::make_mut(&mut self.prepared);
+        let adj_phys: Vec<VectorId> = index
+            .live_neighbors(id)
+            .iter()
+            .map(|&nb| prepared.perm.new_of(nb))
+            .collect();
+        prepared.perm.extend_identity(1);
+        let v_phys = prepared.luncsr.append_vertex(adj_phys);
+        debug_assert_eq!(v_phys, prepared.perm.new_of(id));
+        for &r in &report.repaired {
+            let list = index
+                .live_neighbors(r)
+                .iter()
+                .map(|&nb| prepared.perm.new_of(nb))
+                .collect();
+            prepared.luncsr.set_neighbors(prepared.perm.new_of(r), list);
+        }
+
+        // ---- Flash write path: the append lands in the controller's open
+        // page; when it fills, a <ProgramPage> goes through the FTL. A
+        // P/E *cycle* is charged once per block — when the program lands
+        // on the block's first page (the append-only walk writes a fresh
+        // block front-to-back after one erase) — matching the refresh
+        // path's one-`note_program`-per-block-move convention. ----
+        let timing = &config.timing;
+        let spp = prepared.luncsr.mapping().slots_per_page();
+        self.open_slots += 1;
+        let mut pages_programmed = 0u64;
+        let mut program_ns: Nanos = 0;
+        if self.open_slots >= spp {
+            self.open_slots = 0;
+            pages_programmed = 1;
+            let mapping = prepared.luncsr.mapping();
+            let plane = mapping.global_plane_of(v_phys);
+            let physical = self
+                .ftl
+                .program_page(plane, mapping.logical_block_of(v_phys));
+            if mapping.page_of(v_phys) == 0 {
+                self.wear.note_program(plane, physical);
+            }
+            program_ns = timing.t_program_page_ns
+                + timing.channel_transfer_ns(u64::from(config.geometry.page_bytes));
+            self.totals.flash_bytes += u64::from(config.geometry.page_bytes);
+        }
+        // Metadata bookkeeping: the embedded cores rewrite the repaired
+        // vertices' overlay entries in SSD DRAM.
+        let bookkeeping = (1 + report.repaired.len() as u64) * timing.t_embedded_op_ns;
+
+        self.totals.inserts += 1;
+        self.totals.pages_programmed += pages_programmed;
+        self.totals.program_ns += program_ns;
+        self.totals.user_bytes += self.dataset.stored_vector_bytes() as u64;
+        Ok(AppliedUpdate {
+            id,
+            repaired: report.repaired.len(),
+            pages_programmed,
+            duration_ns: program_ns + bookkeeping,
+            program_ns,
+        })
+    }
+
+    /// Applies one online delete (tombstone). Returns `None` when the id
+    /// is out of range or already tombstoned.
+    pub fn delete(&mut self, config: &NdsConfig, id: VectorId) -> Option<AppliedUpdate> {
+        assert!(self.index.is_some(), "delete on an immutable deployment");
+        let bound = self.dataset.len();
+        let index = self.index.as_mut().expect("checked above");
+        if (id as usize) >= bound || !index.delete(id) {
+            return None;
+        }
+        let prepared = Arc::make_mut(&mut self.prepared);
+        prepared.luncsr.tombstone(prepared.perm.new_of(id));
+        self.totals.deletes += 1;
+        Some(AppliedUpdate {
+            id,
+            repaired: 0,
+            pages_programmed: 0,
+            duration_ns: config.timing.t_embedded_op_ns,
+            program_ns: 0,
+        })
+    }
+
+    /// Compacts the deployment: re-runs reorder + placement over the live
+    /// graph (folding the delta into a fresh read-mostly base), erases the
+    /// blocks the old overlay occupied, and rewrites every page — charging
+    /// erase/program latency and wear. Tombstones stay marked on the fresh
+    /// base (they are dropped from the id space only by a full offline
+    /// rebuild), so query results over the compacted deployment match the
+    /// overlay's exactly.
+    pub fn compact(&mut self, config: &NdsConfig) -> CompactionReport {
+        self.refresh_graph();
+        let timing = &config.timing;
+        // Erase the old footprint: every distinct (plane, logical block)
+        // the overlay occupies goes through the FTL as an erase; wear is
+        // charged on the physical block it resolves to. One erase +
+        // rewrite is one P/E cycle, charged here only — the rewrite loop
+        // below must not charge the (largely identical) blocks again.
+        let occupied: std::collections::BTreeSet<(u32, u32)> = {
+            let lc = &self.prepared.luncsr;
+            (0..lc.num_vertices() as u32)
+                .map(|v| {
+                    (
+                        lc.mapping().global_plane_of(v),
+                        lc.mapping().logical_block_of(v),
+                    )
+                })
+                .collect()
+        };
+        let mut per_plane = std::collections::BTreeMap::<u32, u64>::new();
+        for &(plane, lblock) in &occupied {
+            let physical = self.ftl.erase_logical_block(plane, lblock);
+            self.wear.note_program(plane, physical);
+            *per_plane.entry(plane).or_default() += 1;
+        }
+        let erase_rounds = per_plane.values().copied().max().unwrap_or(0);
+
+        // Re-stage from the live construction graph (same id space; the
+        // search graph is unchanged, so results are too).
+        let restaged = Prepared::stage(config, &self.graph, &self.dataset, &BatchTrace::default());
+        let tombstoned: Vec<VectorId> = (0..self.graph.num_vertices() as u32)
+            .filter(|&v| self.is_deleted(v))
+            .collect();
+        self.prepared = Arc::new(restaged);
+        let prepared = Arc::make_mut(&mut self.prepared);
+        for v in tombstoned {
+            prepared.luncsr.tombstone(prepared.perm.new_of(v));
+        }
+
+        // Program the fresh base: every page rewritten. Wear for the
+        // rewrite was already charged with the erases above (erase +
+        // program = one P/E cycle); blocks the new base newly occupies
+        // beyond the old footprint get their cycle charged when their
+        // first page programs on the append path.
+        let pages = prepared.luncsr.mapping().pages_used();
+        let planes = u64::from(config.geometry.total_planes()).max(1);
+        let program_rounds = pages.div_ceil(planes);
+        let duration_ns = erase_rounds * timing.t_erase_block_ns
+            + program_rounds
+                * (timing.t_program_page_ns
+                    + timing.channel_transfer_ns(u64::from(config.geometry.page_bytes)));
+        self.open_slots =
+            (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+
+        self.totals.blocks_erased += occupied.len() as u64;
+        self.totals.pages_programmed += pages;
+        self.totals.program_ns += duration_ns;
+        self.totals.flash_bytes += pages * u64::from(config.geometry.page_bytes);
+        CompactionReport {
+            blocks_erased: occupied.len() as u64,
+            pages_programmed: pages,
+            duration_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_anns::index::GraphAnnsIndex;
+    use ndsearch_anns::vamana::{Vamana, VamanaParams};
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    fn mutable_fixture(n: usize) -> (NdsConfig, Deployment, Dataset) {
+        let (base, extra) = DatasetSpec::sift_scaled(n, 64).build_pair();
+        let index = Vamana::build(&base, VamanaParams::default());
+        let mut config = NdsConfig::scaled_for(base.len() * 2, base.stored_vector_bytes());
+        config.ecc.hard_decision_failure_prob = 0.0;
+        let deploy = Deployment::stage(&config, Box::new(index), base);
+        (config, deploy, extra)
+    }
+
+    #[test]
+    fn inserts_extend_overlay_and_charge_flash() {
+        let (config, mut deploy, extra) = mutable_fixture(400);
+        assert!(deploy.is_mutable());
+        let spp = deploy.prepared().luncsr.mapping().slots_per_page() as usize;
+        let mut programmed = 0u64;
+        for (i, (_, v)) in extra.iter().enumerate() {
+            let applied = deploy.insert(&config, v).unwrap();
+            assert_eq!(applied.id as usize, 400 + i);
+            programmed += applied.pages_programmed;
+        }
+        assert_eq!(deploy.dataset().len(), 464);
+        // The graph snapshot refreshes at round boundaries, not per update.
+        assert_eq!(deploy.graph().num_vertices(), 400);
+        deploy.refresh_graph();
+        assert_eq!(deploy.graph().num_vertices(), 464);
+        assert_eq!(deploy.prepared().luncsr.delta_vertices(), 64);
+        let totals = deploy.totals();
+        assert_eq!(totals.inserts, 64);
+        assert_eq!(totals.pages_programmed, programmed);
+        assert!(
+            totals.pages_programmed >= (64 / spp) as u64,
+            "64 inserts at {spp} slots/page must program pages"
+        );
+        assert!(totals.program_ns > 0, "programs must charge tPROG");
+        assert!(
+            totals.write_amplification() > 0.0,
+            "amplification must be measured"
+        );
+        // Wear: some block saw a P/E cycle.
+        assert!(deploy.wear().max_wear_ratio() > 0.0);
+        // Overlay adjacency mirrors the index, relabeled.
+        let prepared = deploy.prepared();
+        let graph = deploy.graph();
+        for id in [400u32, 463u32] {
+            let want: Vec<u32> = graph
+                .neighbors(id)
+                .iter()
+                .map(|&nb| prepared.perm.new_of(nb))
+                .collect();
+            assert_eq!(prepared.luncsr.neighbors(prepared.perm.new_of(id)), want);
+        }
+    }
+
+    #[test]
+    fn deletes_tombstone_and_reject_duplicates() {
+        let (config, mut deploy, _) = mutable_fixture(300);
+        assert!(deploy.delete(&config, 5).is_some());
+        assert!(deploy.delete(&config, 5).is_none(), "double delete");
+        assert!(deploy.delete(&config, 9999).is_none(), "out of range");
+        assert!(deploy.is_deleted(5));
+        assert_eq!(deploy.live_count(), 299);
+        let prepared = deploy.prepared();
+        assert!(prepared.luncsr.is_tombstoned(prepared.perm.new_of(5)));
+    }
+
+    #[test]
+    fn compaction_folds_delta_and_charges_erases() {
+        let (config, mut deploy, extra) = mutable_fixture(400);
+        for (_, v) in extra.iter() {
+            deploy.insert(&config, v).unwrap();
+        }
+        deploy.delete(&config, 17);
+        assert!(deploy.prepared().luncsr.delta_vertices() > 0);
+        let before = deploy.totals();
+        let report = deploy.compact(&config);
+        assert!(report.blocks_erased > 0);
+        assert!(report.pages_programmed > 0);
+        assert!(report.duration_ns > 0);
+        let after = deploy.totals();
+        assert_eq!(
+            after.blocks_erased,
+            before.blocks_erased + report.blocks_erased
+        );
+        // The delta is folded into a fresh base; tombstones survive.
+        let prepared = deploy.prepared();
+        assert_eq!(prepared.luncsr.delta_vertices(), 0);
+        assert!(prepared.luncsr.is_tombstoned(prepared.perm.new_of(17)));
+        // The search graph is untouched by compaction.
+        assert_eq!(deploy.graph().num_vertices(), 464);
+    }
+
+    #[test]
+    fn immutable_deployment_rejects_updates() {
+        let base = DatasetSpec::sift_scaled(200, 1).build();
+        let index = Vamana::build(&base, VamanaParams::default());
+        let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+        let prepared = Prepared::stage(&config, index.base_graph(), &base, &BatchTrace::default());
+        let deploy = Deployment::from_parts(&config, prepared, base, index.base_graph().clone());
+        assert!(!deploy.is_mutable());
+        assert_eq!(deploy.live_count(), 200);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported_not_panicked() {
+        let (config, mut deploy, _) = mutable_fixture(200);
+        let err = deploy.insert(&config, &[1.0, 2.0]).unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+        assert_eq!(deploy.dataset().len(), 200, "rejected insert is a no-op");
+    }
+
+    #[test]
+    fn device_full_rejects_instead_of_panicking() {
+        // A deliberately minuscule device: 16 planes × 1 block × 2 pages
+        // × 16 slots = 512 slots, 400 of which the base occupies.
+        let (base, extra) = DatasetSpec::sift_scaled(400, 4).build_pair();
+        let index = Vamana::build(&base, VamanaParams::default());
+        let mut geometry = ndsearch_flash::geometry::FlashGeometry::tiny();
+        geometry.blocks_per_plane = 1;
+        geometry.pages_per_block = 2;
+        let mut config = NdsConfig {
+            geometry,
+            ..NdsConfig::default()
+        };
+        config.ecc.hard_decision_failure_prob = 0.0;
+        let mut deploy = Deployment::stage(&config, Box::new(index), base);
+        let capacity = deploy.prepared().luncsr.mapping().capacity_slots();
+        assert_eq!(capacity, 512);
+        let v = extra.vector(0).to_vec();
+        let mut accepted = 0u64;
+        loop {
+            match deploy.insert(&config, &v) {
+                Ok(_) => accepted += 1,
+                Err(InsertError::DeviceFull) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(400 + accepted <= capacity, "accepted past capacity");
+        }
+        assert_eq!(400 + accepted, capacity, "fills exactly to capacity");
+        // Further inserts keep being rejected; deletes still work.
+        assert_eq!(
+            deploy.insert(&config, &v).unwrap_err(),
+            InsertError::DeviceFull
+        );
+        assert!(deploy.delete(&config, 0).is_some());
+    }
+}

@@ -33,7 +33,12 @@
 //!   query sessions (submit/poll/complete, deadlines, admission and
 //!   backpressure) whose live beam-search hops are interleaved across the
 //!   flash channels each scheduling round, with per-query p50/p99 latency
-//!   reporting; [`stream`] is the coarser closed-batch throughput model.
+//!   reporting; [`stream`] is the coarser closed-batch throughput model;
+//! * [`deploy::Deployment`] — versioned mutable deployments: online
+//!   insert/delete as update sessions served alongside queries, the
+//!   LUNCSR base+delta overlay kept in lock-step with the live index,
+//!   the flash program/erase write path (tPROG, wear, amplification),
+//!   and deterministic compaction.
 //!
 //! # Example
 //!
@@ -57,6 +62,7 @@
 pub mod alloc;
 pub mod area;
 pub mod config;
+pub mod deploy;
 pub mod energy;
 pub mod engine;
 pub mod exec;
@@ -70,7 +76,8 @@ pub mod stream;
 pub mod vgen;
 
 pub use config::{NdsConfig, SchedulingConfig};
+pub use deploy::{CompactionReport, Deployment, InsertError, UpdateTotals};
 pub use engine::NdsEngine;
 pub use pipeline::Prepared;
 pub use report::{LatencyBreakdown, LatencySummary, NdsReport};
-pub use serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport};
+pub use serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport, UpdateOp, UpdateRequest};

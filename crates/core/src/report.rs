@@ -80,6 +80,9 @@ pub struct LatencyBreakdown {
     pub bitonic_ns: Nanos,
     /// PCIe I/O (queries in, result lists to FPGA, top-k out).
     pub pcie_ns: Nanos,
+    /// Flash program/erase time charged by the online-update write path
+    /// (page programs for inserts, block erases for compaction).
+    pub program_ns: Nanos,
 }
 
 impl LatencyBreakdown {
@@ -94,6 +97,7 @@ impl LatencyBreakdown {
             + self.bus_ns
             + self.bitonic_ns
             + self.pcie_ns
+            + self.program_ns
     }
 
     /// Element-wise accumulation.
@@ -107,6 +111,7 @@ impl LatencyBreakdown {
         self.bus_ns += other.bus_ns;
         self.bitonic_ns += other.bitonic_ns;
         self.pcie_ns += other.pcie_ns;
+        self.program_ns += other.program_ns;
     }
 
     /// `(label, fraction)` rows for the Fig. 17 stacked bar.
@@ -122,6 +127,7 @@ impl LatencyBreakdown {
             ("Channel bus", self.bus_ns as f64 / total),
             ("Bitonic (FPGA)", self.bitonic_ns as f64 / total),
             ("SSD I/O (PCIe)", self.pcie_ns as f64 / total),
+            ("Flash program/erase", self.program_ns as f64 / total),
         ]
     }
 }

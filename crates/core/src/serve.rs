@@ -22,9 +22,21 @@
 //!   the number of query-property records the internal DRAM budget holds
 //!   ([`QueryPropertyTable::max_resident`]); arrivals beyond the wait-queue
 //!   capacity are rejected;
+//! * [`UpdateRequest`] / [`UpdateOutcome`] — online inserts and
+//!   tombstone deletes as *update sessions* over a mutable
+//!   [`Deployment`]: they arrive, wait in a bounded write queue
+//!   (rejection = ingest backpressure), and are applied in admission
+//!   order between search rounds, capped per round
+//!   ([`ServeConfig::max_updates_per_round`]). Inserts link through the
+//!   index's construction kernel, extend the LUNCSR delta segment and
+//!   charge the flash program path; each round's jobs read round-boundary
+//!   `Arc` snapshots, so mixed query+update serving stays bit-identical
+//!   at any [`NdsConfig::exec_threads`];
 //! * [`ServeReport`] — QPS over the makespan, per-query latency order
-//!   statistics ([`LatencySummary`]), and wall-clock simulation
-//!   throughput (`wall_s` / [`ServeReport::sim_ns_per_wall_s`]).
+//!   statistics ([`LatencySummary`]), wall-clock simulation
+//!   throughput (`wall_s` / [`ServeReport::sim_ns_per_wall_s`]), and the
+//!   update stream's outcomes, throughput
+//!   ([`ServeReport::update_qps`]) and write amplification.
 //!
 //! Each scheduling round drives the merged work through the same
 //! data-parallel round executor as the batch engine ([`crate::exec`]):
@@ -72,6 +84,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use ndsearch_anns::beam::BeamSearcher;
 use ndsearch_anns::trace::IterationTrace;
@@ -84,6 +97,7 @@ use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
 use crate::config::NdsConfig;
+use crate::deploy::{Deployment, UpdateTotals};
 use crate::engine::{execute_round, sorting_tail, LunExecutor, RoundSinks};
 use crate::exec::Pool;
 use crate::pipeline::Prepared;
@@ -102,6 +116,11 @@ const HOP_PARALLEL_MIN: usize = 8;
 /// the merged round's per-LUN work units (`Lun` jobs, via
 /// [`LunExecutor`]). Both stages merge in job order, so serving is
 /// bit-identical at any thread count.
+///
+/// Each job carries `Arc` snapshots of the world it reads (dataset, live
+/// graph, staged overlay), taken at its round's boundary: online updates
+/// mutate the deployment *between* rounds on the scheduler thread, so a
+/// job never observes a torn state and never needs a lock.
 enum ServeJob {
     /// Advance one session's beam searcher by one hop.
     Hop {
@@ -109,9 +128,20 @@ enum ServeJob {
         slot: u32,
         /// The session's live searcher (returned in the result).
         searcher: BeamSearcher,
+        /// Construction-order dataset snapshot.
+        dataset: Arc<Dataset>,
+        /// Live graph snapshot.
+        graph: Arc<Csr>,
+        /// Staged overlay snapshot (relabeling).
+        prepared: Arc<Prepared>,
     },
     /// One per-LUN work unit of the merged round.
-    Lun(LunJob),
+    Lun {
+        /// The work unit.
+        job: LunJob,
+        /// Staged overlay snapshot the unit reads addresses from.
+        prepared: Arc<Prepared>,
+    },
 }
 
 /// Result of one [`ServeJob`].
@@ -134,18 +164,19 @@ enum ServeOut {
 type ServePool<'f> = Pool<'f, ServeJob, ServeOut>;
 
 /// Evaluates one serving job (worker threads and the inline path share
-/// this function, so both produce identical results).
-fn run_serve_job(
-    job: ServeJob,
-    dataset: &Dataset,
-    graph: &Csr,
-    prepared: &Prepared,
-    config: &NdsConfig,
-) -> ServeOut {
+/// this function, so both produce identical results). All world state
+/// arrives inside the job as round-boundary snapshots.
+fn run_serve_job(job: ServeJob, config: &NdsConfig) -> ServeOut {
     match job {
-        ServeJob::Hop { slot, mut searcher } => {
+        ServeJob::Hop {
+            slot,
+            mut searcher,
+            dataset,
+            graph,
+            prepared,
+        } => {
             let hop = searcher
-                .step(dataset, graph)
+                .step(&dataset, &graph)
                 .map(|h| prepared.relabel_hop(&h));
             let finished = hop.is_none() || searcher.is_finished();
             ServeOut::Hop {
@@ -155,7 +186,7 @@ fn run_serve_job(
                 finished,
             }
         }
-        ServeJob::Lun(job) => ServeOut::Lun(process_lun_work(
+        ServeJob::Lun { job, prepared } => ServeOut::Lun(process_lun_work(
             &job.work,
             &prepared.luncsr,
             config,
@@ -164,13 +195,30 @@ fn run_serve_job(
     }
 }
 
-impl LunExecutor for ServePool<'_> {
+/// One round's view of the pool: wraps the worker pool together with the
+/// round's overlay snapshot, so per-LUN work units fanned out by
+/// [`execute_round`] read the same `Prepared` the round's hops did.
+struct RoundExecutor<'p, 'f> {
+    pool: &'p mut ServePool<'f>,
+    prepared: Arc<Prepared>,
+}
+
+impl LunExecutor for RoundExecutor<'_, '_> {
     fn parallel_for(&self, units: usize) -> bool {
-        self.is_parallel() && units >= crate::exec::PARALLEL_THRESHOLD
+        self.pool.is_parallel() && units >= crate::exec::PARALLEL_THRESHOLD
     }
 
     fn run_luns(&mut self, jobs: Vec<LunJob>) -> Vec<LunOutcome> {
-        self.run(jobs.into_iter().map(ServeJob::Lun).collect())
+        let prepared = &self.prepared;
+        self.pool
+            .run(
+                jobs.into_iter()
+                    .map(|job| ServeJob::Lun {
+                        job,
+                        prepared: Arc::clone(prepared),
+                    })
+                    .collect(),
+            )
             .into_iter()
             .map(|out| match out {
                 ServeOut::Lun(out) => out,
@@ -202,6 +250,13 @@ pub struct ServeConfig {
     /// Internal-DRAM budget for the query property table; divides by the
     /// per-session record size to bound residency.
     pub qpt_dram_budget_bytes: u64,
+    /// Updates applied per scheduling round (admission cap of the write
+    /// path: the embedded cores apply updates in admission order between
+    /// search rounds, so a burst of inserts cannot starve queries).
+    pub max_updates_per_round: usize,
+    /// Arrived-but-not-applied updates the write queue holds; arrivals
+    /// beyond this are rejected (ingest backpressure).
+    pub update_queue_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -213,6 +268,8 @@ impl Default for ServeConfig {
             k: 10,
             distance: DistanceKind::L2,
             qpt_dram_budget_bytes: 64 << 20,
+            max_updates_per_round: 4,
+            update_queue_capacity: 4096,
         }
     }
 }
@@ -241,6 +298,79 @@ impl QueryRequest {
             arrival_ns,
             deadline_ns: None,
         }
+    }
+}
+
+/// Identifier of a submitted update session (dense, in submission order;
+/// a separate space from [`QueryId`]).
+pub type UpdateId = usize;
+
+/// The mutation an [`UpdateRequest`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Ingest one vector: append it to the dataset, link it into the live
+    /// graph, and program its page through the FTL.
+    Insert(Vec<f32>),
+    /// Tombstone a construction-order vertex.
+    Delete(VectorId),
+}
+
+/// One update submitted to the serving engine. Updates are sessions like
+/// queries: they arrive, wait in a bounded queue, and are applied by the
+/// scheduler in admission order between search rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// The mutation to apply.
+    pub op: UpdateOp,
+    /// Simulated arrival time.
+    pub arrival_ns: Nanos,
+}
+
+impl UpdateRequest {
+    /// An insert arriving at `arrival_ns`.
+    pub fn insert_at(arrival_ns: Nanos, vector: Vec<f32>) -> Self {
+        Self {
+            op: UpdateOp::Insert(vector),
+            arrival_ns,
+        }
+    }
+
+    /// A delete arriving at `arrival_ns`.
+    pub fn delete_at(arrival_ns: Nanos, id: VectorId) -> Self {
+        Self {
+            op: UpdateOp::Delete(id),
+            arrival_ns,
+        }
+    }
+}
+
+/// Final record of one update session, reported by [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Update id (submission order).
+    pub id: UpdateId,
+    /// Terminal state: `Completed`, or `Rejected` (queue overflow, shape
+    /// mismatch, delete of a missing/tombstoned vertex, or an immutable
+    /// deployment).
+    pub state: SessionState,
+    /// When the update arrived.
+    pub arrival_ns: Nanos,
+    /// When the scheduler started applying it.
+    pub admitted_ns: Nanos,
+    /// When its effects were durable.
+    pub completed_ns: Nanos,
+    /// Construction-order id assigned (inserts) or deleted.
+    pub assigned: Option<VectorId>,
+    /// Vertices whose adjacency was rewritten by backlink repair.
+    pub repaired: usize,
+    /// NAND pages this update programmed.
+    pub pages_programmed: u64,
+}
+
+impl UpdateOutcome {
+    /// End-to-end latency the ingesting client observed.
+    pub fn latency_ns(&self) -> Nanos {
+        self.completed_ns.saturating_sub(self.arrival_ns)
     }
 }
 
@@ -310,6 +440,10 @@ impl QueryOutcome {
 pub struct ServeReport {
     /// One record per submitted session, in submission order.
     pub outcomes: Vec<QueryOutcome>,
+    /// One record per submitted update, in submission order.
+    pub update_outcomes: Vec<UpdateOutcome>,
+    /// Write-path totals (programs, erases, amplification inputs).
+    pub updates: UpdateTotals,
     /// First arrival → last completion.
     pub makespan_ns: Nanos,
     /// Scheduling rounds executed.
@@ -333,6 +467,8 @@ impl PartialEq for ServeReport {
         // `wall_s` is deliberately excluded (host timing, not simulation
         // output).
         self.outcomes == other.outcomes
+            && self.update_outcomes == other.update_outcomes
+            && self.updates == other.updates
             && self.makespan_ns == other.makespan_ns
             && self.rounds == other.rounds
             && self.peak_inflight == other.peak_inflight
@@ -381,6 +517,37 @@ impl ServeReport {
         }
     }
 
+    /// Updates applied to completion.
+    pub fn updates_completed(&self) -> usize {
+        self.update_outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Completed)
+            .count()
+    }
+
+    /// Updates rejected (backpressure, shape mismatch, missing vertex).
+    pub fn updates_rejected(&self) -> usize {
+        self.update_outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Rejected)
+            .count()
+    }
+
+    /// Update throughput: completed updates per second of makespan.
+    pub fn update_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.updates_completed() as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Write amplification of the update stream (flash bytes programmed
+    /// per user byte ingested).
+    pub fn write_amplification(&self) -> f64 {
+        self.updates.write_amplification()
+    }
+
     /// Latency order statistics over normally completed sessions, plus
     /// the wall-clock simulation-throughput fields.
     pub fn latency(&self) -> LatencySummary {
@@ -422,29 +589,49 @@ struct Session {
 
 impl Session {
     /// Tears down the searcher, snapshotting its hop count and best-`k`
-    /// results into the session record.
-    fn finish(&mut self, state: SessionState, completed_ns: Nanos, k: usize) {
+    /// results into the session record. Tombstoned vertices are filtered
+    /// out of the reported list: a deleted vector may still have routed
+    /// the search, but it must never be returned to a client.
+    fn finish(
+        &mut self,
+        state: SessionState,
+        completed_ns: Nanos,
+        k: usize,
+        deleted: &dyn Fn(VectorId) -> bool,
+    ) {
         self.state = state;
         self.completed_ns = completed_ns;
         if let Some(searcher) = self.searcher.take() {
             self.hops = searcher.hops();
             self.results = searcher.found();
+            self.results.retain(|n| !deleted(n.id));
             self.results.truncate(k);
         }
     }
 }
 
+/// Internal per-update state (the op is taken when applied).
+#[derive(Debug, Clone)]
+struct UpdateSession {
+    arrival_ns: Nanos,
+    op: Option<UpdateOp>,
+    state: SessionState,
+    admitted_ns: Nanos,
+    completed_ns: Nanos,
+    assigned: Option<VectorId>,
+    repaired: usize,
+    pages_programmed: u64,
+}
+
 /// The concurrent serving engine: an event-synchronous scheduler that
 /// interleaves beam-search hops from many in-flight query sessions across
-/// the SearSSD's flash channels. See the [module docs](self) for the
-/// execution model.
-#[derive(Debug, Clone)]
+/// the SearSSD's flash channels, and applies admitted updates between
+/// rounds. See the [module docs](self) for the execution model.
 pub struct ServeEngine<'a> {
     config: &'a NdsConfig,
     serve: ServeConfig,
-    prepared: &'a Prepared,
-    dataset: &'a Dataset,
-    graph: &'a Csr,
+    /// The (possibly mutable) deployment being served.
+    deploy: Deployment,
     qpt: QueryPropertyTable,
     sessions: Vec<Session>,
     /// Not-yet-arrived sessions, ordered by (arrival, id).
@@ -453,6 +640,12 @@ pub struct ServeEngine<'a> {
     queue: VecDeque<QueryId>,
     /// Admitted sessions, in admission order.
     inflight: Vec<QueryId>,
+    /// Update sessions, in submission order.
+    update_sessions: Vec<UpdateSession>,
+    /// Not-yet-arrived updates, ordered by (arrival, id).
+    update_arrivals: BinaryHeap<Reverse<(Nanos, UpdateId)>>,
+    /// Arrived updates awaiting application (FIFO, bounded).
+    update_queue: VecDeque<UpdateId>,
     now_ns: Nanos,
     first_arrival_ns: Option<Nanos>,
     last_completion_ns: Nanos,
@@ -468,10 +661,12 @@ pub struct ServeEngine<'a> {
 }
 
 impl<'a> ServeEngine<'a> {
-    /// Creates a serving engine over a staged layout. `dataset` and
-    /// `graph` are the construction-order views the live beam searches
-    /// run against; `prepared` carries the reordered physical layout the
-    /// hardware model replays.
+    /// Creates a query-only serving engine over a staged layout (the
+    /// legacy path: the borrowed views are cloned into an immutable
+    /// [`Deployment`], and update submissions are rejected). `dataset`
+    /// and `graph` are the construction-order views the live beam
+    /// searches run against; `prepared` carries the reordered physical
+    /// layout the hardware model replays.
     ///
     /// # Panics
     /// Panics if the dataset, graph and staged layout disagree on vertex
@@ -479,36 +674,53 @@ impl<'a> ServeEngine<'a> {
     pub fn new(
         config: &'a NdsConfig,
         serve: ServeConfig,
-        prepared: &'a Prepared,
-        dataset: &'a Dataset,
-        graph: &'a Csr,
+        prepared: &Prepared,
+        dataset: &Dataset,
+        graph: &Csr,
     ) -> Self {
+        Self::with_deployment(
+            config,
+            serve,
+            Deployment::from_parts(config, prepared.clone(), dataset.clone(), graph.clone()),
+        )
+    }
+
+    /// Creates a serving engine over a [`Deployment`]. A deployment
+    /// staged with a live index ([`Deployment::stage`]) accepts
+    /// [`UpdateRequest`] sessions alongside queries; one built
+    /// [`Deployment::from_parts`] is query-only.
+    ///
+    /// # Panics
+    /// Panics if the deployment's dataset, graph and staged layout
+    /// disagree on vertex count.
+    pub fn with_deployment(config: &'a NdsConfig, serve: ServeConfig, deploy: Deployment) -> Self {
         assert_eq!(
-            graph.num_vertices(),
-            dataset.len(),
+            deploy.graph().num_vertices(),
+            deploy.dataset().len(),
             "graph and dataset must agree on vertex count"
         );
         assert_eq!(
-            prepared.luncsr.num_vertices(),
-            dataset.len(),
+            deploy.prepared().luncsr.num_vertices(),
+            deploy.dataset().len(),
             "staged layout must cover the dataset"
         );
         let qpt = QueryPropertyTable::new(
             serve.max_inflight,
-            prepared.vector_bytes,
+            deploy.prepared().vector_bytes,
             config.result_list_entries,
         );
         Self {
             config,
             serve,
-            prepared,
-            dataset,
-            graph,
+            deploy,
             qpt,
             sessions: Vec::new(),
             arrivals: BinaryHeap::new(),
             queue: VecDeque::new(),
             inflight: Vec::new(),
+            update_sessions: Vec::new(),
+            update_arrivals: BinaryHeap::new(),
+            update_queue: VecDeque::new(),
             now_ns: 0,
             first_arrival_ns: None,
             last_completion_ns: 0,
@@ -521,6 +733,17 @@ impl<'a> ServeEngine<'a> {
             luns_touched: HashSet::new(),
             wall: std::time::Duration::ZERO,
         }
+    }
+
+    /// The deployment being served (live overlay state, wear, totals).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deploy
+    }
+
+    /// Consumes the engine, returning the deployment (e.g. to compact it
+    /// offline or stage a successor engine).
+    pub fn into_deployment(self) -> Deployment {
+        self.deploy
     }
 
     /// The effective in-flight cap: the configured limit, clamped by the
@@ -556,9 +779,42 @@ impl<'a> ServeEngine<'a> {
         id
     }
 
+    /// Registers an update session and returns its id. Arrival times in
+    /// the past are clamped to the current simulated time. Updates on a
+    /// query-only deployment are rejected immediately.
+    pub fn submit_update(&mut self, req: UpdateRequest) -> UpdateId {
+        let id = self.update_sessions.len();
+        let arrival = req.arrival_ns.max(self.now_ns);
+        let state = if self.deploy.is_mutable() {
+            SessionState::Pending
+        } else {
+            SessionState::Rejected
+        };
+        self.update_sessions.push(UpdateSession {
+            arrival_ns: arrival,
+            op: Some(req.op),
+            state,
+            admitted_ns: arrival,
+            completed_ns: arrival,
+            assigned: None,
+            repaired: 0,
+            pages_programmed: 0,
+        });
+        if state == SessionState::Pending {
+            self.update_arrivals.push(Reverse((arrival, id)));
+            self.first_arrival_ns = Some(self.first_arrival_ns.map_or(arrival, |f| f.min(arrival)));
+        }
+        id
+    }
+
     /// Current state of a session.
     pub fn poll(&self, id: QueryId) -> SessionState {
         self.sessions[id].state
+    }
+
+    /// Current state of an update session.
+    pub fn poll_update(&self, id: UpdateId) -> SessionState {
+        self.update_sessions[id].state
     }
 
     /// Final (or partial, if expired) results of a terminal session;
@@ -578,7 +834,7 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Moves sessions whose arrival time has passed into the admission
-    /// queue, rejecting them if it is full.
+    /// queues (queries and updates alike), rejecting them if full.
     fn process_arrivals(&mut self) {
         while let Some(&Reverse((t, id))) = self.arrivals.peek() {
             if t > self.now_ns {
@@ -593,6 +849,21 @@ impl<'a> ServeEngine<'a> {
             } else {
                 s.state = SessionState::Queued;
                 self.queue.push_back(id);
+            }
+        }
+        while let Some(&Reverse((t, id))) = self.update_arrivals.peek() {
+            if t > self.now_ns {
+                break;
+            }
+            self.update_arrivals.pop();
+            let s = &mut self.update_sessions[id];
+            if self.update_queue.len() >= self.serve.update_queue_capacity {
+                s.state = SessionState::Rejected;
+                s.admitted_ns = t;
+                s.completed_ns = t;
+            } else {
+                s.state = SessionState::Queued;
+                self.update_queue.push_back(id);
             }
         }
     }
@@ -613,7 +884,10 @@ impl<'a> ServeEngine<'a> {
         for id in expired_inflight {
             // Partial results still travel the full Sorting-stage path.
             let tail = self.completion_tail_ns();
-            self.sessions[id].finish(SessionState::Expired, now + tail, k);
+            let deploy = &self.deploy;
+            self.sessions[id].finish(SessionState::Expired, now + tail, k, &|v| {
+                deploy.is_deleted(v)
+            });
             self.last_completion_ns = self.last_completion_ns.max(now + tail);
         }
         let sessions = &mut self.sessions;
@@ -668,10 +942,20 @@ impl<'a> ServeEngine<'a> {
     }
 
     fn step_round_inner(&mut self, mut pool: Option<&mut ServePool<'_>>) -> bool {
+        // Updates applied at the end of the previous round become visible
+        // here — one graph re-snapshot per round, not per update (and the
+        // snapshot is fresh even when this call ends up idle-returning).
+        self.deploy.refresh_graph();
         self.process_arrivals();
-        if self.inflight.is_empty() && self.queue.is_empty() {
-            // Idle: fast-forward to the next arrival, if any.
-            let Some(&Reverse((t, _))) = self.arrivals.peek() else {
+        if self.inflight.is_empty() && self.queue.is_empty() && self.update_queue.is_empty() {
+            // Idle: fast-forward to the next arrival (query or update).
+            let next_query = self.arrivals.peek().map(|&Reverse((t, _))| t);
+            let next_update = self.update_arrivals.peek().map(|&Reverse((t, _))| t);
+            let next = match (next_query, next_update) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let Some(t) = next else {
                 return false;
             };
             self.now_ns = self.now_ns.max(t);
@@ -679,15 +963,18 @@ impl<'a> ServeEngine<'a> {
         }
         self.expire_due();
 
+        // ---- Snapshot the world at the round boundary: jobs dispatched
+        // below can never observe a mid-round mutation. ----
+        let dataset = Arc::clone(self.deploy.dataset());
+        let graph = Arc::clone(self.deploy.graph());
+        let prepared = Arc::clone(self.deploy.prepared());
+
         // ---- Admission: PCIe-in DMA overlaps the round's search. The
         // searcher (and its dataset-sized visited set) is built here, not
         // at submit, so resident memory tracks the in-flight cap. ----
         let mut t_in: Nanos = 0;
-        let (num_vertices, beam_width, distance) = (
-            self.dataset.len(),
-            self.serve.beam_width,
-            self.serve.distance,
-        );
+        let (num_vertices, beam_width, distance) =
+            (dataset.len(), self.serve.beam_width, self.serve.distance);
         while self.inflight.len() < self.max_inflight() {
             let Some(id) = self.queue.pop_front() else {
                 break;
@@ -702,7 +989,7 @@ impl<'a> ServeEngine<'a> {
                 beam_width,
                 distance,
             ));
-            let bytes = self.prepared.vector_bytes as u64 + 16;
+            let bytes = prepared.vector_bytes as u64 + 16;
             t_in += self.config.host_link.transfer_ns(bytes);
             self.stats.pcie_bytes += bytes;
             self.inflight.push(id);
@@ -714,8 +1001,7 @@ impl<'a> ServeEngine<'a> {
         // steps are independent per session, so they fan out over the
         // worker pool; results come back in slot order, keeping the
         // round bit-identical to the sequential path. ----
-        let (dataset, graph, prepared, config) =
-            (self.dataset, self.graph, self.prepared, self.config);
+        let config = self.config;
         let mut jobs: Vec<ServeJob> = Vec::with_capacity(self.inflight.len());
         for (slot, &id) in self.inflight.iter().enumerate() {
             let s = &mut self.sessions[id];
@@ -724,14 +1010,14 @@ impl<'a> ServeEngine<'a> {
             jobs.push(ServeJob::Hop {
                 slot: slot as u32,
                 searcher,
+                dataset: Arc::clone(&dataset),
+                graph: Arc::clone(&graph),
+                prepared: Arc::clone(&prepared),
             });
         }
         let outs: Vec<ServeOut> = match pool.as_deref_mut() {
             Some(pool) => pool.run_with_min(jobs, HOP_PARALLEL_MIN),
-            None => jobs
-                .into_iter()
-                .map(|j| run_serve_job(j, dataset, graph, prepared, config))
-                .collect(),
+            None => jobs.into_iter().map(|j| run_serve_job(j, config)).collect(),
         };
         let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
         let mut finished: Vec<QueryId> = Vec::new();
@@ -762,9 +1048,13 @@ impl<'a> ServeEngine<'a> {
                 .iter()
                 .map(|(q, it)| (*q, it.entry, it.visited.as_slice()))
                 .collect();
+            let mut executor = pool.map(|p| RoundExecutor {
+                pool: p,
+                prepared: Arc::clone(&prepared),
+            });
             let round = execute_round(
                 self.config,
-                &self.prepared.luncsr,
+                &prepared.luncsr,
                 &self.qpt,
                 &entries,
                 RoundSinks {
@@ -772,7 +1062,7 @@ impl<'a> ServeEngine<'a> {
                     stats: &mut self.stats,
                     luns_touched: &mut self.luns_touched,
                 },
-                pool.map(|p| p as &mut dyn LunExecutor),
+                executor.as_mut().map(|e| e as &mut dyn LunExecutor),
             );
             let overlap = self.config.scheduling.dynamic_allocating && self.rounds > 0;
             round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
@@ -785,11 +1075,67 @@ impl<'a> ServeEngine<'a> {
             self.inflight.retain(|&x| x != id);
             let tail = self.completion_tail_ns();
             let k = self.serve.k;
-            self.sessions[id].finish(SessionState::Completed, self.now_ns + tail, k);
+            let deploy = &self.deploy;
+            self.sessions[id].finish(SessionState::Completed, self.now_ns + tail, k, &|v| {
+                deploy.is_deleted(v)
+            });
             self.last_completion_ns = self.last_completion_ns.max(self.now_ns + tail);
         }
 
-        !self.inflight.is_empty() || !self.queue.is_empty() || !self.arrivals.is_empty()
+        // ---- Apply admitted updates, in admission order, on the
+        // scheduler thread (the write path mutates the deployment, so it
+        // never fans out — which also makes mixed query+update rounds
+        // trivially bit-identical at any thread count). The next round's
+        // snapshots pick the mutations up. The round's own snapshots are
+        // released first so `Arc::make_mut` inside the deployment mutates
+        // in place instead of deep-cloning the dataset and overlay. ----
+        drop(dataset);
+        drop(graph);
+        drop(prepared);
+        for _ in 0..self.serve.max_updates_per_round {
+            let Some(uid) = self.update_queue.pop_front() else {
+                break;
+            };
+            self.apply_update(uid);
+        }
+
+        !self.inflight.is_empty()
+            || !self.queue.is_empty()
+            || !self.arrivals.is_empty()
+            || !self.update_queue.is_empty()
+            || !self.update_arrivals.is_empty()
+    }
+
+    /// Applies one update session: mutates the deployment, charges the
+    /// flash write path (program latency, wear, stats) and advances the
+    /// clock by the update's device occupancy.
+    fn apply_update(&mut self, uid: UpdateId) {
+        let s = &mut self.update_sessions[uid];
+        s.admitted_ns = self.now_ns;
+        let op = s.op.take().expect("queued update still has its op");
+        let applied = match op {
+            UpdateOp::Insert(vector) => self.deploy.insert(self.config, &vector).ok(),
+            UpdateOp::Delete(id) => self.deploy.delete(self.config, id),
+        };
+        let s = &mut self.update_sessions[uid];
+        match applied {
+            Some(applied) => {
+                self.now_ns += applied.duration_ns;
+                self.breakdown.program_ns += applied.program_ns;
+                self.breakdown.embedded_ns +=
+                    applied.duration_ns.saturating_sub(applied.program_ns);
+                self.stats.page_programs += applied.pages_programmed;
+                s.state = SessionState::Completed;
+                s.assigned = Some(applied.id);
+                s.repaired = applied.repaired;
+                s.pages_programmed = applied.pages_programmed;
+            }
+            None => {
+                s.state = SessionState::Rejected;
+            }
+        }
+        s.completed_ns = self.now_ns;
+        self.last_completion_ns = self.last_completion_ns.max(self.now_ns);
     }
 
     /// Drives the scheduler until every session is terminal and returns
@@ -801,17 +1147,30 @@ impl<'a> ServeEngine<'a> {
     /// while the report stays bit-identical to single-stepping.
     pub fn run_to_completion(&mut self) -> ServeReport {
         let config = self.config;
-        let prepared = self.prepared;
-        let dataset = self.dataset;
-        let graph = self.graph;
         crate::exec::with_pool(
             config.exec_threads,
-            move |job: ServeJob| run_serve_job(job, dataset, graph, prepared, config),
+            move |job: ServeJob| run_serve_job(job, config),
             |pool| {
                 while self.step_with(Some(&mut *pool)) {}
                 self.report()
             },
         )
+    }
+
+    /// Compacts the deployment in place, charging the rewrite's
+    /// erase/program time to the simulated clock and the report's
+    /// breakdown. Returns `None` for query-only deployments.
+    pub fn compact(&mut self) -> Option<crate::deploy::CompactionReport> {
+        if !self.deploy.is_mutable() {
+            return None;
+        }
+        let report = self.deploy.compact(self.config);
+        self.now_ns += report.duration_ns;
+        self.breakdown.program_ns += report.duration_ns;
+        self.stats.page_programs += report.pages_programmed;
+        self.stats.block_erases += report.blocks_erased;
+        self.last_completion_ns = self.last_completion_ns.max(self.now_ns);
+        Some(report)
     }
 
     /// Snapshot of the serving outcome so far (complete once
@@ -833,8 +1192,25 @@ impl<'a> ServeEngine<'a> {
                 results: s.results.clone(),
             })
             .collect();
+        let update_outcomes = self
+            .update_sessions
+            .iter()
+            .enumerate()
+            .map(|(id, s)| UpdateOutcome {
+                id,
+                state: s.state,
+                arrival_ns: s.arrival_ns,
+                admitted_ns: s.admitted_ns,
+                completed_ns: s.completed_ns,
+                assigned: s.assigned,
+                repaired: s.repaired,
+                pages_programmed: s.pages_programmed,
+            })
+            .collect();
         ServeReport {
             outcomes,
+            update_outcomes,
+            updates: self.deploy.totals(),
             makespan_ns: self
                 .now_ns
                 .max(self.last_completion_ns)
@@ -1091,6 +1467,180 @@ mod tests {
         assert_eq!(report.makespan_ns, report.outcomes[0].completed_ns - 5_000);
         assert!(report.latency().p50_ns > 0);
         assert!(report.lun_coverage > 0.0);
+    }
+
+    fn mutable_engine(
+        fx: &Fixture,
+        serve: ServeConfig,
+    ) -> (ServeEngine<'_>, ndsearch_vector::Dataset) {
+        let index = Vamana::build(&fx.base, VamanaParams::default());
+        let deploy = crate::deploy::Deployment::stage(&fx.config, Box::new(index), fx.base.clone());
+        (
+            ServeEngine::with_deployment(&fx.config, serve, deploy),
+            fx.queries.clone(),
+        )
+    }
+
+    #[test]
+    fn mixed_query_update_serving_completes_and_charges_flash() {
+        let mut fx = fixture(400, 16);
+        // Headroom for the inserts.
+        fx.config = NdsConfig::scaled_for(800, fx.base.stored_vector_bytes());
+        fx.config.ecc.hard_decision_failure_prob = 0.0;
+        let (mut engine, extra) = mutable_engine(
+            &fx,
+            ServeConfig {
+                max_inflight: 4,
+                ..ServeConfig::default()
+            },
+        );
+        // Interleave 16 queries with 16 inserts and 4 deletes.
+        for (i, (_, q)) in fx.queries.iter().enumerate() {
+            engine.submit(QueryRequest::at(
+                i as Nanos * 1_000,
+                q.to_vec(),
+                vec![fx.medoid],
+            ));
+        }
+        for (i, (_, v)) in extra.iter().enumerate() {
+            engine.submit_update(UpdateRequest::insert_at(i as Nanos * 1_500, v.to_vec()));
+        }
+        for i in 0..4u32 {
+            engine.submit_update(UpdateRequest::delete_at(20_000 + Nanos::from(i), i));
+        }
+        let report = engine.run_to_completion();
+        assert_eq!(report.completed(), 16);
+        assert_eq!(report.updates_completed(), 20);
+        assert_eq!(report.updates_rejected(), 0);
+        assert!(report.update_qps() > 0.0);
+        // The write path demonstrably charged flash program latency, wear
+        // and stats.
+        assert!(report.updates.inserts == 16 && report.updates.deletes == 4);
+        assert!(report.updates.pages_programmed > 0, "no page programmed");
+        assert!(report.stats.page_programs > 0);
+        assert!(report.breakdown.program_ns > 0, "tPROG not charged");
+        assert!(report.write_amplification() > 0.0);
+        assert!(engine.deployment().wear().max_wear_ratio() > 0.0);
+        // The deployment grew and the deletes tombstoned.
+        assert_eq!(engine.deployment().dataset().len(), 416);
+        assert_eq!(engine.deployment().live_count(), 412);
+        // Inserted ids are reported in submission order.
+        for (i, o) in report.update_outcomes.iter().take(16).enumerate() {
+            assert_eq!(o.state, SessionState::Completed);
+            assert_eq!(o.assigned, Some(400 + i as u32));
+        }
+    }
+
+    #[test]
+    fn deleted_vertices_never_surface_in_results() {
+        let fx = fixture(400, 8);
+        let (mut engine, _) = mutable_engine(&fx, ServeConfig::default());
+        // Find the true top-1 of query 0, delete it, then serve the query.
+        let mut vs = VisitedSet::new(fx.base.len());
+        let top = beam_search(
+            &fx.base,
+            &fx.graph,
+            fx.queries.vector(0),
+            &[fx.medoid],
+            64,
+            DistanceKind::L2,
+            &mut vs,
+        )
+        .found[0]
+            .id;
+        let del = engine.submit_update(UpdateRequest::delete_at(0, top));
+        let q = engine.submit(QueryRequest::at(
+            1_000_000,
+            fx.queries.vector(0).to_vec(),
+            vec![fx.medoid],
+        ));
+        let report = engine.run_to_completion();
+        assert_eq!(engine.poll_update(del), SessionState::Completed);
+        assert_eq!(engine.poll(q), SessionState::Completed);
+        assert!(
+            !report.outcomes[q].results.iter().any(|n| n.id == top),
+            "tombstoned vertex leaked into results"
+        );
+        assert!(!report.outcomes[q].results.is_empty());
+    }
+
+    #[test]
+    fn update_queue_overflow_rejects() {
+        let fx = fixture(300, 1);
+        let (mut engine, _) = mutable_engine(
+            &fx,
+            ServeConfig {
+                update_queue_capacity: 2,
+                max_updates_per_round: 1,
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..6 {
+            engine.submit_update(UpdateRequest::delete_at(0, 5));
+        }
+        let report = engine.run_to_completion();
+        // Two fit the queue; the other four bounce. Of the two applied,
+        // the first completes, the second is a duplicate delete.
+        assert_eq!(report.updates_rejected(), 5);
+        assert_eq!(report.updates_completed(), 1);
+    }
+
+    #[test]
+    fn updates_on_immutable_deployment_are_rejected() {
+        let fx = fixture(300, 1);
+        let prepared = stage(&fx);
+        let mut engine = ServeEngine::new(
+            &fx.config,
+            ServeConfig::default(),
+            &prepared,
+            &fx.base,
+            &fx.graph,
+        );
+        let id = engine.submit_update(UpdateRequest::delete_at(0, 3));
+        assert_eq!(engine.poll_update(id), SessionState::Rejected);
+        let report = engine.run_to_completion();
+        assert_eq!(report.updates_rejected(), 1);
+        assert_eq!(report.updates.deletes, 0);
+    }
+
+    #[test]
+    fn serving_compaction_charges_erases_and_keeps_results() {
+        let mut fx = fixture(400, 8);
+        fx.config = NdsConfig::scaled_for(800, fx.base.stored_vector_bytes());
+        fx.config.ecc.hard_decision_failure_prob = 0.0;
+        let (mut engine, extra) = mutable_engine(&fx, ServeConfig::default());
+        for (_, v) in extra.iter().take(8) {
+            engine.submit_update(UpdateRequest::insert_at(0, v.to_vec()));
+        }
+        engine.run_to_completion();
+        let before = engine.deployment().prepared().luncsr.delta_vertices();
+        assert!(before > 0);
+        let compaction = engine.compact().expect("mutable deployment compacts");
+        assert!(compaction.blocks_erased > 0);
+        assert_eq!(engine.deployment().prepared().luncsr.delta_vertices(), 0);
+
+        // Query results over the compacted deployment match the overlay.
+        for (i, (_, q)) in fx.queries.iter().enumerate() {
+            engine.submit(QueryRequest::at(0, q.to_vec(), vec![fx.medoid]));
+            let _ = i;
+        }
+        let report = engine.run_to_completion();
+        assert!(report.stats.block_erases > 0);
+        let mut vs = VisitedSet::new(engine.deployment().dataset().len());
+        for (i, (_, q)) in fx.queries.iter().enumerate() {
+            let mut want = beam_search(
+                engine.deployment().dataset(),
+                engine.deployment().graph(),
+                q,
+                &[fx.medoid],
+                ServeConfig::default().beam_width,
+                DistanceKind::L2,
+                &mut vs,
+            )
+            .found;
+            want.truncate(ServeConfig::default().k);
+            assert_eq!(report.outcomes[i].results, want, "query {i} diverged");
+        }
     }
 
     #[test]

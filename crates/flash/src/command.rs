@@ -99,15 +99,49 @@ impl SearchPageInstr {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NandCommand {
     /// Stock page read: array → page buffer, then data out over the bus.
-    ReadPage { lun: LunId },
+    ReadPage {
+        /// Target LUN.
+        lun: LunId,
+    },
     /// Modified search: array → page buffer → in-LUN MAC group.
-    SearchPage { lun: LunId, instr_packed: u64 },
+    SearchPage {
+        /// Target LUN.
+        lun: LunId,
+        /// Packed [`SearchPageInstr`] operand word.
+        instr_packed: u64,
+    },
     /// Selects whose buffer the next column change / data-out targets.
-    ReadStatusEnhanced { lun: LunId },
+    ReadStatusEnhanced {
+        /// Target LUN.
+        lun: LunId,
+    },
     /// Moves the column pointer within the selected buffer.
-    ChangeReadColumn { lun: LunId },
+    ChangeReadColumn {
+        /// Target LUN.
+        lun: LunId,
+    },
     /// Data-out phase transferring `bytes` over the shared channel bus.
-    DataOut { lun: LunId, bytes: u32 },
+    DataOut {
+        /// Target LUN.
+        lun: LunId,
+        /// Bytes moved over the channel bus.
+        bytes: u32,
+    },
+    /// Data-in phase followed by a page program (tPROG): the online-update
+    /// path appends vectors through this command. Programs on distinct
+    /// LUNs overlap; the data-in serializes on the channel bus.
+    ProgramPage {
+        /// Target LUN.
+        lun: LunId,
+        /// Bytes moved into the page buffer over the channel bus.
+        bytes: u32,
+    },
+    /// Block erase (tBERS) preceding a rewrite — issued by compaction and
+    /// block-level refresh, never on the search critical path.
+    EraseBlock {
+        /// Target LUN.
+        lun: LunId,
+    },
 }
 
 impl NandCommand {
@@ -118,7 +152,9 @@ impl NandCommand {
             | NandCommand::SearchPage { lun, .. }
             | NandCommand::ReadStatusEnhanced { lun }
             | NandCommand::ChangeReadColumn { lun }
-            | NandCommand::DataOut { lun, .. } => lun,
+            | NandCommand::DataOut { lun, .. }
+            | NandCommand::ProgramPage { lun, .. }
+            | NandCommand::EraseBlock { lun } => lun,
         }
     }
 }
@@ -189,6 +225,16 @@ pub fn sequence_latency_ns(seq: &[NandCommand], timing: &FlashTiming, op: MultiL
             }
             NandCommand::DataOut { bytes, .. } => {
                 bus_busy += timing.channel_transfer_ns(u64::from(*bytes));
+            }
+            NandCommand::ProgramPage { bytes, .. } => {
+                // Data-in over the bus, then the cell program; programs on
+                // distinct LUNs overlap like senses do.
+                bus_busy += timing.t_command_ns + timing.channel_transfer_ns(u64::from(*bytes));
+                sense = sense.max(timing.t_program_page_ns);
+            }
+            NandCommand::EraseBlock { .. } => {
+                bus_busy += timing.t_command_ns;
+                sense = sense.max(timing.t_erase_block_ns);
             }
         }
     }
@@ -289,5 +335,26 @@ mod tests {
     fn command_lun_accessor() {
         assert_eq!(NandCommand::ReadPage { lun: 5 }.lun(), 5);
         assert_eq!(NandCommand::DataOut { lun: 9, bytes: 1 }.lun(), 9);
+        assert_eq!(NandCommand::ProgramPage { lun: 3, bytes: 64 }.lun(), 3);
+        assert_eq!(NandCommand::EraseBlock { lun: 7 }.lun(), 7);
+    }
+
+    #[test]
+    fn program_and_erase_dominate_a_sequence() {
+        let timing = FlashTiming::default();
+        let program = [NandCommand::ProgramPage { lun: 0, bytes: 512 }];
+        let t_prog = sequence_latency_ns(&program, &timing, MultiLunOp::Read);
+        assert!(t_prog >= timing.t_program_page_ns);
+        // Programs on distinct LUNs overlap like senses.
+        let two = [
+            NandCommand::ProgramPage { lun: 0, bytes: 512 },
+            NandCommand::ProgramPage { lun: 1, bytes: 512 },
+        ];
+        let t_two = sequence_latency_ns(&two, &timing, MultiLunOp::Read);
+        assert!(t_two < 2 * t_prog, "t_two = {t_two}, t_prog = {t_prog}");
+        let erase = [NandCommand::EraseBlock { lun: 0 }];
+        let t_erase = sequence_latency_ns(&erase, &timing, MultiLunOp::Read);
+        assert!(t_erase >= timing.t_erase_block_ns);
+        assert!(t_erase > t_prog, "erase outweighs program");
     }
 }

@@ -36,6 +36,10 @@ pub struct Ftl {
     l2p: Vec<Vec<u32>>,
     /// Refresh operations performed so far.
     refresh_count: u64,
+    /// Page programs routed through the FTL (online appends, rewrites).
+    program_count: u64,
+    /// Block erases routed through the FTL (compaction, refresh).
+    erase_count: u64,
     /// Per-plane read counters driving read-disturb-triggered refresh.
     plane_reads: Vec<u64>,
     /// Reads per plane after which a refresh of one block is triggered
@@ -53,6 +57,8 @@ impl Ftl {
             geom,
             l2p: vec![ident; planes],
             refresh_count: 0,
+            program_count: 0,
+            erase_count: 0,
             plane_reads: vec![0; planes],
             refresh_read_threshold: 0,
             rng: Pcg32::seed_from_u64(seed),
@@ -75,6 +81,40 @@ impl Ftl {
     /// Total refreshes performed.
     pub fn refresh_count(&self) -> u64 {
         self.refresh_count
+    }
+
+    /// Total page programs routed through [`program_page`](Self::program_page).
+    pub fn program_count(&self) -> u64 {
+        self.program_count
+    }
+
+    /// Total block erases routed through
+    /// [`erase_logical_block`](Self::erase_logical_block).
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Routes a page program for a logical block through the FTL: counts
+    /// the `<ProgramPage>` command and returns the *physical* block the
+    /// data lands in, so the caller can charge wear to the right cells.
+    /// The online-update path appends every new vector's page this way.
+    ///
+    /// # Panics
+    /// Panics if indices are out of range.
+    pub fn program_page(&mut self, plane: PlaneId, logical_block: u32) -> u32 {
+        self.program_count += 1;
+        self.physical_block(plane, logical_block)
+    }
+
+    /// Routes a block erase through the FTL (compaction rewrites a fresh
+    /// base, erasing the blocks the old one occupied): counts the erase
+    /// and returns the physical block erased.
+    ///
+    /// # Panics
+    /// Panics if indices are out of range.
+    pub fn erase_logical_block(&mut self, plane: PlaneId, logical_block: u32) -> u32 {
+        self.erase_count += 1;
+        self.physical_block(plane, logical_block)
     }
 
     /// Refreshes one logical block: its data moves to a different physical
@@ -244,6 +284,19 @@ mod tests {
         assert!(ftl.refresh_block(0, 0).is_empty());
         assert_eq!(ftl.refresh_count(), 0);
         assert!(ftl.is_bijective());
+    }
+
+    #[test]
+    fn program_and_erase_route_through_the_mapping() {
+        let mut ftl = Ftl::new(FlashGeometry::tiny(), 8);
+        assert_eq!(ftl.program_page(2, 3), 3, "identity map at first");
+        assert_eq!(ftl.program_count(), 1);
+        // After a refresh the program lands on the relocated physical block.
+        let evs = ftl.refresh_block(2, 3);
+        assert_eq!(ftl.program_page(2, 3), evs[0].new_physical);
+        assert_eq!(ftl.erase_logical_block(2, 3), evs[0].new_physical);
+        assert_eq!(ftl.program_count(), 2);
+        assert_eq!(ftl.erase_count(), 1);
     }
 
     #[test]

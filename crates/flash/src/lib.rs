@@ -34,6 +34,8 @@
 //! assert!(timing.internal_bandwidth_bytes_per_s(&geom) > 500e9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod command;
 pub mod ecc;
 pub mod ftl;

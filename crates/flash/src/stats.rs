@@ -22,6 +22,11 @@ pub struct FlashStats {
     pub distance_evals: u64,
     /// Hard-decision LDPC failures that fell back to soft decision.
     pub ecc_soft_fallbacks: u64,
+    /// Pages programmed into the NAND array (online inserts, compaction
+    /// rewrites, refresh relocations).
+    pub page_programs: u64,
+    /// Blocks erased (compaction and refresh relocations).
+    pub block_erases: u64,
 }
 
 impl FlashStats {
@@ -41,6 +46,8 @@ impl FlashStats {
         self.multi_lun_ops += other.multi_lun_ops;
         self.distance_evals += other.distance_evals;
         self.ecc_soft_fallbacks += other.ecc_soft_fallbacks;
+        self.page_programs += other.page_programs;
+        self.block_erases += other.block_erases;
     }
 
     /// Page accesses per visited vertex — the paper's *page access ratio*

@@ -17,6 +17,12 @@ pub type Nanos = u64;
 pub struct FlashTiming {
     /// Page sense time tR: NAND array → plane page buffer.
     pub t_read_page_ns: Nanos,
+    /// Page program time tPROG: page buffer → NAND array (online inserts
+    /// and refresh/compaction rewrites pay this).
+    pub t_program_page_ns: Nanos,
+    /// Block erase time tBERS (compaction and refresh relocations pay
+    /// this before rewriting a block).
+    pub t_erase_block_ns: Nanos,
     /// Channel bus bandwidth in bytes/second (shared by the chips, thus the
     /// LUNs, of one channel).
     pub channel_bus_bytes_per_s: f64,
@@ -74,6 +80,10 @@ impl Default for FlashTiming {
         Self {
             // V-NAND MLC page sense.
             t_read_page_ns: 45_000,
+            // V-NAND MLC page program (tPROG ≈ 13–15× tR).
+            t_program_page_ns: 600_000,
+            // V-NAND block erase (tBERS, milliseconds-class).
+            t_erase_block_ns: 3_500_000,
             // ONFI-4-class channel: 800 MB/s.
             channel_bus_bytes_per_s: 800e6,
             // §III: reading page buffer to an accelerator outside the chip.

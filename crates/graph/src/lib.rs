@@ -29,6 +29,8 @@
 //! assert_eq!(reordered.num_vertices(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod csr;
 pub mod legacy;
 pub mod luncsr;

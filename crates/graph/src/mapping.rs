@@ -104,6 +104,46 @@ impl VertexMapping {
         m
     }
 
+    /// Appends one vertex to the placement, continuing the policy's walk
+    /// exactly where [`place`](Self::place) stopped (vertex `i` always
+    /// occupies slot `i % slots_per_page` of walk page `i / slots_per_page`,
+    /// so base and delta vertices share one address arithmetic). Returns
+    /// the new vertex id. This is the placement half of an online insert.
+    ///
+    /// # Panics
+    /// Panics if the device has no free slot left.
+    pub fn append_one(&mut self) -> VectorId {
+        let i = self.len() as u64;
+        let capacity = self.capacity_slots();
+        assert!(i < capacity, "device full: {capacity} slots all placed");
+        let page_seq = i / u64::from(self.slots_per_page);
+        let slot = (i % u64::from(self.slots_per_page)) as u32;
+        let (lun, plane, block, page) = match self.policy {
+            PlacementPolicy::Linear => linear_page(&self.geom, page_seq),
+            PlacementPolicy::MultiPlaneAware => multiplane_page(&self.geom, page_seq),
+        };
+        self.lun.push(lun);
+        self.plane_in_lun.push(plane as u8);
+        self.logical_block.push(block);
+        self.page.push(page);
+        self.slot.push(slot);
+        (self.len() - 1) as VectorId
+    }
+
+    /// NAND pages the placement spans (the sequential walk fills pages
+    /// without gaps, so this is `ceil(len / slots_per_page)`).
+    pub fn pages_used(&self) -> u64 {
+        (self.len() as u64).div_ceil(u64::from(self.slots_per_page))
+    }
+
+    /// Total vector slots the geometry can hold under this mapping —
+    /// the bound [`append_one`](Self::append_one) enforces. Callers with
+    /// a rejection path (the serving layer's ingest backpressure) check
+    /// this before appending.
+    pub fn capacity_slots(&self) -> u64 {
+        self.geom.total_pages() * u64::from(self.slots_per_page)
+    }
+
     /// Geometry the mapping targets.
     pub fn geometry(&self) -> &FlashGeometry {
         &self.geom

@@ -84,6 +84,18 @@ impl Permutation {
         &self.old_of_new
     }
 
+    /// Extends the permutation with `count` identity-mapped tail ids.
+    /// Online inserts append to the construction-order and physical id
+    /// spaces in the same order, so a vertex appended after staging maps
+    /// to itself.
+    pub fn extend_identity(&mut self, count: usize) {
+        for _ in 0..count {
+            let id = self.new_of_old.len() as VectorId;
+            self.new_of_old.push(id);
+            self.old_of_new.push(id);
+        }
+    }
+
     /// Composition: applies `self` then `after`.
     ///
     /// # Panics

@@ -102,13 +102,35 @@ impl Dataset {
         }
     }
 
+    /// Appends one vector, returning its newly assigned id.
+    ///
+    /// This is the ingestion entry point of the online-update path: the
+    /// serving layer pushes the vector first, then links the returned id
+    /// into the live graph overlay.
+    ///
+    /// # Errors
+    /// Returns [`ShapeError`] if `v.len() != self.dim()`.
+    pub fn try_push(&mut self, v: &[f32]) -> Result<VectorId, ShapeError> {
+        if v.len() != self.dim {
+            return Err(ShapeError {
+                expected_dim: self.dim,
+                row: self.len(),
+                got_dim: v.len(),
+            });
+        }
+        self.data.extend_from_slice(v);
+        Ok((self.len() - 1) as VectorId)
+    }
+
     /// Appends one vector.
     ///
     /// # Panics
     /// Panics if `v.len() != self.dim()`.
+    #[deprecated(note = "use `try_push`, which reports the shape mismatch instead of panicking")]
     pub fn push(&mut self, v: &[f32]) {
-        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
-        self.data.extend_from_slice(v);
+        if let Err(e) = self.try_push(v) {
+            panic!("vector dimension mismatch: {e}");
+        }
     }
 
     /// Number of vectors stored.
@@ -255,6 +277,18 @@ mod tests {
     fn permute_gather_rejects_duplicates() {
         let mut ds = Dataset::from_rows(1, vec![vec![0.0], vec![1.0]]).unwrap();
         ds.permute_gather(&[0, 0]);
+    }
+
+    #[test]
+    fn try_push_appends_and_reports_shape_errors() {
+        let mut ds = Dataset::new(2);
+        assert_eq!(ds.try_push(&[1.0, 2.0]), Ok(0));
+        assert_eq!(ds.try_push(&[3.0, 4.0]), Ok(1));
+        assert_eq!(ds.vector(1), &[3.0, 4.0]);
+        let err = ds.try_push(&[5.0]).unwrap_err();
+        assert_eq!(err.to_string(), "row 2 has dimension 1, expected 2");
+        // A rejected push leaves the dataset untouched.
+        assert_eq!(ds.len(), 2);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! assert!(d >= 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod distance;
 pub mod recall;

@@ -18,9 +18,10 @@ use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
 use ndsearch::anns::trace::BatchTrace;
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
 use ndsearch::core::config::NdsConfig;
+use ndsearch::core::deploy::Deployment;
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
-use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine};
+use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
 use ndsearch::flash::timing::Nanos;
 use ndsearch::vector::synthetic::DatasetSpec;
 
@@ -76,6 +77,73 @@ fn engine_report_bit_identical_across_thread_counts() {
                 &reports[2],
                 "engine diverged between 1 and 8 threads"
             );
+            Ok(())
+        },
+    );
+}
+
+/// Mixed query+update serving: updates mutate the deployment between
+/// rounds while hop/LUN jobs read round-boundary snapshots, so the full
+/// report — query outcomes, update outcomes, write-path totals — must be
+/// bit-identical at `exec_threads` ∈ {1, 4}.
+#[test]
+fn mixed_update_serving_bit_identical_across_thread_counts() {
+    proptest::test_runner::run(
+        Config { cases: 3 },
+        "mixed_update_serving_bit_identical_across_thread_counts",
+        |rng| {
+            let n = (250usize..400).generate(rng);
+            let q = (4usize..10).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let index = Vamana::build(&base, VamanaParams::default());
+            let medoid = index.medoid();
+            // Headroom for the inserts.
+            let mut config = random_config(rng, n * 2, base.stored_vector_bytes());
+            config.refresh_read_threshold = 0;
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                max_updates_per_round: (1usize..4).generate(rng),
+                ..ServeConfig::default()
+            };
+            let interarrival = (0u64..2_000).generate(rng);
+            let n_inserts = (4usize..12).generate(rng);
+            let n_deletes = (1usize..6).generate(rng);
+            let reports: Vec<_> = [1usize, 4]
+                .iter()
+                .map(|&threads| {
+                    let mut c = config.clone();
+                    c.exec_threads = threads;
+                    let deploy = Deployment::stage(&c, Box::new(index.clone()), base.clone());
+                    let mut engine = ServeEngine::with_deployment(&c, serve.clone(), deploy);
+                    for (i, (_, qv)) in queries.iter().enumerate() {
+                        engine.submit(QueryRequest::at(
+                            i as Nanos * interarrival,
+                            qv.to_vec(),
+                            vec![medoid],
+                        ));
+                    }
+                    for i in 0..n_inserts {
+                        engine.submit_update(UpdateRequest::insert_at(
+                            i as Nanos * interarrival + 500,
+                            queries.vector((i % queries.len()) as u32).to_vec(),
+                        ));
+                    }
+                    for i in 0..n_deletes {
+                        engine.submit_update(UpdateRequest::delete_at(
+                            i as Nanos * interarrival + 900,
+                            (i * 7) as u32 % n as u32,
+                        ));
+                    }
+                    engine.run_to_completion()
+                })
+                .collect();
+            prop_assert_eq!(
+                &reports[0],
+                &reports[1],
+                "mixed serving diverged between 1 and 4 threads"
+            );
+            prop_assert!(reports[0].updates_completed() > 0);
             Ok(())
         },
     );

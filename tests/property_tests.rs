@@ -148,6 +148,63 @@ proptest! {
     }
 
     #[test]
+    fn delta_overlay_compact_preserves_live_reachability(
+        appends in proptest::collection::vec(proptest::collection::vec(0u32..10_000, 0..6), 1..40),
+        patches in proptest::collection::vec((0u32..10_000, proptest::collection::vec(0u32..10_000, 0..6)), 0..20),
+        tombstones in proptest::collection::vec(0u32..10_000, 0..25),
+    ) {
+        // Base: a 100-vertex ring staged as LUNCSR; then a random overlay
+        // of appends, backlink patches and tombstones.
+        let geom = FlashGeometry::tiny();
+        let n0 = 100usize;
+        let lists: Vec<Vec<u32>> = (0..n0 as u32).map(|v| vec![(v + 1) % n0 as u32]).collect();
+        let csr = Csr::from_adjacency(&lists).unwrap();
+        let mapping = VertexMapping::place(geom, n0, 128, PlacementPolicy::MultiPlaneAware);
+        let mut lc = LunCsr::new(csr, mapping);
+        for adj in appends {
+            let n = lc.num_vertices() as u32;
+            lc.append_vertex(adj.into_iter().map(|x| x % n).collect());
+        }
+        let n = lc.num_vertices() as u32;
+        for (v, adj) in patches {
+            lc.set_neighbors(v % n, adj.into_iter().map(|x| x % n).collect());
+        }
+        for t in tombstones {
+            lc.tombstone(t % n);
+        }
+        let compacted = lc.compact();
+        prop_assert_eq!(compacted.num_vertices(), lc.num_vertices());
+        prop_assert_eq!(compacted.delta_vertices(), 0);
+        // Every edge reachable through base+delta between live vertices is
+        // identically reachable after compact(), and nothing else is.
+        for v in 0..n {
+            prop_assert_eq!(compacted.is_tombstoned(v), lc.is_tombstoned(v));
+            if lc.is_tombstoned(v) {
+                prop_assert!(compacted.neighbors(v).is_empty());
+                continue;
+            }
+            let live: Vec<u32> = lc
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&nb| !lc.is_tombstoned(nb))
+                .collect();
+            prop_assert_eq!(compacted.neighbors(v), live.as_slice());
+        }
+        // Compaction is deterministic and idempotent on the live edge set.
+        let twice = compacted.compact();
+        for v in 0..n {
+            prop_assert_eq!(twice.neighbors(v), compacted.neighbors(v));
+        }
+        // Fresh placement: addresses valid and unique.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n {
+            let a = compacted.physical_addr(v);
+            prop_assert!(seen.insert((a.lun, a.plane_in_lun, a.block, a.page, a.byte)));
+        }
+    }
+
+    #[test]
     fn permutation_composition_is_associative(n in 1usize..60, s1 in any::<u64>(), s2 in any::<u64>()) {
         let csr = Csr::from_adjacency(&vec![Vec::new(); n]).unwrap();
         let p = ReorderMethod::RandomShuffle.permutation(&csr, s1);
