@@ -1,0 +1,231 @@
+//! Shard-count sweep of the scatter–gather cluster serving tier.
+//!
+//! Part 1 serves one closed-load query wave through clusters of
+//! 1/2/4/8 shards under both partition policies, reporting merged QPS,
+//! p50/p99 latency, recall, and the load-imbalance factor — and asserts
+//! that the single-shard balanced cluster returns *exactly* the
+//! unsharded engine's top-k (it is the same deployment). Part 2 serves a
+//! mixed query+update stream on the 4-shard cluster (online inserts
+//! routed by policy, deletes routed to their owning shard), reporting
+//! update throughput and flash write-path totals. A machine-readable
+//! `BENCH_cluster.json` snapshot seeds the perf trajectory across PRs.
+//!
+//! Scale knobs: `NDS_N` (base vectors), `NDS_K` (top-k),
+//! `NDS_BENCH_JSON` (snapshot path, default `BENCH_cluster.json`).
+
+use ndsearch_anns::index::MutableIndex;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_bench::{env_usize, f, print_table};
+use ndsearch_core::cluster::{ClusterEngine, ClusterQueryRequest};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::deploy::Deployment;
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
+use ndsearch_flash::timing::Nanos;
+use ndsearch_vector::recall::{ground_truth, recall_at_k};
+use ndsearch_vector::shard::{ShardPlan, ShardPolicy};
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::{Dataset, DistanceKind, VectorId};
+
+const N_QUERIES: usize = 32;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PLAN_SEED: u64 = 0x5A4D;
+
+fn vamana_builder(ds: &Dataset) -> (Box<dyn MutableIndex>, VectorId) {
+    let index = Vamana::build(ds, VamanaParams::default());
+    let entry = index.medoid();
+    (Box::new(index), entry)
+}
+
+fn main() {
+    let n = env_usize("NDS_N", 3000);
+    let k = env_usize("NDS_K", 10);
+    let (base, queries) = DatasetSpec::sift_scaled(n, N_QUERIES).build_pair();
+    let mut config = NdsConfig::scaled_for(n * 2, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let serve = ServeConfig {
+        k,
+        ..ServeConfig::default()
+    };
+    let gt = ground_truth(&base, &queries, k, DistanceKind::L2);
+
+    // ---- Unsharded reference engine. ----
+    let flat_report = {
+        let index = Vamana::build(&base, VamanaParams::default());
+        let medoid = index.medoid();
+        let deploy = Deployment::stage(&config, Box::new(index), base.clone());
+        let mut engine = ServeEngine::with_deployment(&config, serve.clone(), deploy);
+        for (_, q) in queries.iter() {
+            engine.submit(QueryRequest::at(0, q.to_vec(), vec![medoid]));
+        }
+        engine.run_to_completion()
+    };
+    let flat_ids: Vec<Vec<VectorId>> = flat_report
+        .outcomes
+        .iter()
+        .map(|o| o.results.iter().map(|nb| nb.id).collect())
+        .collect();
+    let flat_recall = recall_at_k(&gt, &flat_ids, k);
+    println!(
+        "unsharded reference: {:.1} kQPS, recall@{k} = {flat_recall:.3}",
+        flat_report.qps() / 1e3
+    );
+
+    // ---- Part 1: shard-count × policy sweep (closed load). ----
+    let mut rows = Vec::new();
+    let mut snapshot_sweep: Vec<String> = Vec::new();
+    for policy in [ShardPolicy::BalancedSize, ShardPolicy::Hash] {
+        for shards in SHARD_COUNTS {
+            let plan = ShardPlan::partition(n, shards, policy, PLAN_SEED);
+            let mut cluster =
+                ClusterEngine::stage(&config, serve.clone(), plan, &base, vamana_builder);
+            for (_, q) in queries.iter() {
+                cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+            }
+            let report = cluster.run_to_completion();
+            assert_eq!(
+                report.completed(),
+                N_QUERIES,
+                "{} x{shards}: queries dropped",
+                policy.name()
+            );
+            let ids: Vec<Vec<VectorId>> = report
+                .outcomes
+                .iter()
+                .map(|o| o.results.iter().map(|nb| nb.id).collect())
+                .collect();
+            if shards == 1 && policy == ShardPolicy::BalancedSize {
+                // One shard holding everything IS the unsharded engine.
+                assert_eq!(
+                    ids, flat_ids,
+                    "single-shard cluster diverged from the unsharded engine"
+                );
+            }
+            let recall = recall_at_k(&gt, &ids, k);
+            let lat = report.latency();
+            let imbalance = report.load_imbalance();
+            snapshot_sweep.push(format!(
+                "{{\"shards\": {shards}, \"policy\": \"{}\", \"qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"recall\": {:.3}, \
+                 \"load_imbalance\": {:.3}}}",
+                policy.name(),
+                report.qps(),
+                lat.p50_ns as f64 / 1e3,
+                lat.p99_ns as f64 / 1e3,
+                recall,
+                imbalance
+            ));
+            rows.push(vec![
+                shards.to_string(),
+                policy.name().to_string(),
+                f(report.qps() / 1e3, 1),
+                f(lat.p50_ns as f64 / 1e3, 1),
+                f(lat.p99_ns as f64 / 1e3, 1),
+                f(recall, 3),
+                f(imbalance, 2),
+            ]);
+        }
+    }
+    print_table(
+        "Shard sweep (closed load, 32 queries at t=0, per-shard devices)",
+        &[
+            "shards",
+            "policy",
+            "kQPS",
+            "p50 us",
+            "p99 us",
+            "recall",
+            "imbalance",
+        ],
+        &rows,
+    );
+    println!("\nEvery shard searches its sub-corpus with the full beam width,");
+    println!("so merged recall tracks (and often exceeds) the unsharded engine;");
+    println!("per-query latency is the slowest shard plus the gather merge.");
+
+    // ---- Part 2: mixed query+update churn on 4 shards. ----
+    let mut rows = Vec::new();
+    let mut snapshot_mixed: Vec<String> = Vec::new();
+    for policy in [ShardPolicy::BalancedSize, ShardPolicy::Hash] {
+        let plan = ShardPlan::partition(n, 4, policy, PLAN_SEED);
+        let mut cluster = ClusterEngine::stage(&config, serve.clone(), plan, &base, vamana_builder);
+        // Enough inserts per shard to fill open flash pages at any
+        // base-size alignment, so the write path demonstrably programs.
+        let (nq, nu) = (N_QUERIES, 2 * N_QUERIES);
+        for (i, (_, q)) in queries.iter().take(nq).enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 1_000, q.to_vec()));
+        }
+        for i in 0..nu {
+            if i % 4 == 3 {
+                cluster.submit_update(UpdateRequest::delete_at(
+                    i as Nanos * 1_500,
+                    (i as VectorId * 13) % n as VectorId,
+                ));
+            } else {
+                let v = queries.vector((i % queries.len()) as VectorId);
+                cluster.submit_update(UpdateRequest::insert_at(i as Nanos * 1_500, v.to_vec()));
+            }
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), nq, "{}: queries dropped", policy.name());
+        assert_eq!(
+            report.updates_completed(),
+            nu,
+            "{}: updates dropped",
+            policy.name()
+        );
+        let totals = report.update_totals();
+        let update_qps =
+            report.updates_completed() as f64 / (report.makespan_ns.max(1) as f64 / 1e9);
+        snapshot_mixed.push(format!(
+            "{{\"policy\": \"{}\", \"queries\": {nq}, \"updates\": {nu}, \
+             \"qps\": {:.1}, \"update_qps\": {update_qps:.1}, \
+             \"pages_programmed\": {}, \"write_amplification\": {:.2}, \
+             \"load_imbalance\": {:.3}}}",
+            policy.name(),
+            report.qps(),
+            totals.pages_programmed,
+            totals.write_amplification(),
+            report.load_imbalance()
+        ));
+        rows.push(vec![
+            policy.name().to_string(),
+            format!("{nq}/{nu}"),
+            f(report.qps() / 1e3, 1),
+            f(update_qps / 1e3, 1),
+            totals.pages_programmed.to_string(),
+            f(totals.write_amplification(), 2),
+            f(report.load_imbalance(), 2),
+        ]);
+    }
+    print_table(
+        "Mixed query+update churn (4 shards, updates routed to owners)",
+        &[
+            "policy",
+            "q/u",
+            "kQPS",
+            "kUPS",
+            "pages",
+            "W-amp",
+            "imbalance",
+        ],
+        &rows,
+    );
+
+    // ---- Machine-readable snapshot for the perf trajectory. ----
+    let path = std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_cluster.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"n_base\": {n},\n  \"k\": {k},\n  \
+         \"unsharded_qps\": {flat_qps:.1},\n  \"unsharded_recall\": {flat_recall:.3},\n  \
+         \"shard_sweep\": [\n    {sweep}\n  ],\n  \"mixed_cluster\": [\n    {mixed}\n  ]\n}}\n",
+        n = n,
+        k = k,
+        flat_qps = flat_report.qps(),
+        flat_recall = flat_recall,
+        sweep = snapshot_sweep.join(",\n    "),
+        mixed = snapshot_mixed.join(",\n    "),
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote bench snapshot to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

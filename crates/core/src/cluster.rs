@@ -1,0 +1,933 @@
+//! Sharded multi-device serving: a scatter–gather cluster of SearSSDs.
+//!
+//! The paper evaluates one in-NAND accelerator; production DiskANN-family
+//! deployments shard billion-point corpora across many SSDs and merge
+//! per-shard top-k (Subramanya et al., NeurIPS'19; FreshDiskANN, Singh
+//! et al., 2021). This module is that scale-out tier over the existing
+//! single-device stack:
+//!
+//! * a [`ShardPlan`] (hash or
+//!   balanced-size policy) splits the dataset into per-shard
+//!   sub-datasets, each staged as its own [`Deployment`] — its own index
+//!   build, LUNCSR staging, FTL, ECC engine and wear model, i.e. its own
+//!   simulated device;
+//! * [`ClusterEngine`] **scatters** every query session to all shards
+//!   (one [`ServeEngine`] session per shard, seeded at that shard's
+//!   entry vertex) and drives all shard engines round-by-round on **one
+//!   shared worker pool** ([`crate::exec`]);
+//! * per-shard top-k lists come back in shard-local ids, are translated
+//!   to global ids through the plan, and are **gathered** by a
+//!   deterministic stable merge — ascending `(distance, global id)`,
+//!   exactly the order [`Neighbor`]'s `Ord` defines — truncated to `k`;
+//! * [`UpdateRequest`]s route to their *owning* shard (deletes via the
+//!   plan's assignment, inserts via the policy's routing rule), so
+//!   online insert/delete keeps working under sharding;
+//! * [`ClusterReport`] carries the merged per-query outcomes plus
+//!   per-shard breakdowns ([`ShardBreakdown`]: QPS, latency
+//!   percentiles, pages programmed) and the cluster's load-imbalance
+//!   factor.
+//!
+//! # Determinism and parity
+//!
+//! Shards share **no** mutable state: each shard engine owns its
+//! deployment, device model and simulated clock, and every per-shard
+//! report is bit-identical at any
+//! [`exec_threads`](crate::config::NdsConfig::exec_threads) (see
+//! [`crate::serve`]). The gather step is a pure sort by `(distance,
+//! global id)`. Hence the cluster report is bit-identical at any thread
+//! count *and* invariant under the order shards are stepped in
+//! ([`ClusterEngine::run_to_completion_ordered`]) — pinned by
+//! `tests/exec_determinism.rs`.
+//!
+//! When every shard's search is exhaustive over its sub-corpus (beam
+//! width at least the shard size on a connected shard graph), the merge
+//! is *provably* lossless: `top_k(S) = top_k(∪ᵢ top_k(Sᵢ))` for any
+//! partition `S = ∪ᵢ Sᵢ`, because each of the true top-k lives in
+//! exactly one shard and survives that shard's exact top-k. The parity
+//! proptest (`tests/cluster_parity.rs`) exercises exactly this regime —
+//! sharded results element-identical to the unsharded engine across
+//! shard counts and both policies, tombstones included. At production
+//! beam widths per-shard search is approximate and the merged recall is
+//! gated in `tests/end_to_end.rs` at the single-device thresholds.
+//!
+//! # Example
+//!
+//! ```
+//! use ndsearch_core::cluster::{ClusterEngine, ClusterQueryRequest};
+//! use ndsearch_core::config::NdsConfig;
+//! use ndsearch_core::serve::ServeConfig;
+//! use ndsearch_anns::index::MutableIndex;
+//! use ndsearch_anns::vamana::{Vamana, VamanaParams};
+//! use ndsearch_vector::shard::{ShardPlan, ShardPolicy};
+//! use ndsearch_vector::synthetic::DatasetSpec;
+//!
+//! let (base, queries) = DatasetSpec::sift_scaled(300, 4).build_pair();
+//! let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+//! let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 7);
+//! let mut cluster = ClusterEngine::stage(
+//!     &config,
+//!     ServeConfig::default(),
+//!     plan,
+//!     &base,
+//!     |shard| {
+//!         let index = Vamana::build(shard, VamanaParams::default());
+//!         let entry = index.medoid();
+//!         (Box::new(index) as Box<dyn MutableIndex>, entry)
+//!     },
+//! );
+//! for (_, q) in queries.iter() {
+//!     cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+//! }
+//! let report = cluster.run_to_completion();
+//! assert_eq!(report.completed(), 4);
+//! assert!(report.qps() > 0.0);
+//! ```
+
+use ndsearch_anns::index::MutableIndex;
+use ndsearch_flash::timing::Nanos;
+use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::shard::ShardPlan;
+use ndsearch_vector::topk::Neighbor;
+use ndsearch_vector::VectorId;
+
+use crate::config::NdsConfig;
+use crate::deploy::{Deployment, UpdateTotals};
+use crate::report::LatencySummary;
+use crate::serve::{
+    run_serve_job, QueryId, QueryRequest, ServeConfig, ServeEngine, ServeJob, ServeReport,
+    SessionState, UpdateId, UpdateOp, UpdateOutcome, UpdateRequest,
+};
+
+/// Identifier of a cluster query session (dense, submission order).
+pub type ClusterQueryId = usize;
+
+/// Identifier of a cluster update session (dense, submission order; a
+/// separate space from [`ClusterQueryId`]).
+pub type ClusterUpdateId = usize;
+
+/// One query submitted to the cluster. Unlike the single-device
+/// [`QueryRequest`] it carries no entry vertices: the scatter seeds each
+/// shard's session at that shard's own entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQueryRequest {
+    /// The query feature vector.
+    pub query: Vec<f32>,
+    /// Simulated arrival time.
+    pub arrival_ns: Nanos,
+    /// Optional absolute deadline, applied on every shard.
+    pub deadline_ns: Option<Nanos>,
+}
+
+impl ClusterQueryRequest {
+    /// A request arriving at `arrival_ns` with no deadline.
+    pub fn at(arrival_ns: Nanos, query: Vec<f32>) -> Self {
+        Self {
+            query,
+            arrival_ns,
+            deadline_ns: None,
+        }
+    }
+}
+
+/// Final record of one cluster query: the gather of its per-shard
+/// sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQueryOutcome {
+    /// Cluster query id (submission order).
+    pub id: ClusterQueryId,
+    /// Merged terminal state: `Completed` only if every shard session
+    /// completed; `Rejected` if any shard rejected the session;
+    /// otherwise `Expired` if any shard cut it off at the deadline.
+    pub state: SessionState,
+    /// Earliest per-shard arrival (the submitted arrival, clamped).
+    pub arrival_ns: Nanos,
+    /// Latest per-shard completion — the gather cannot merge before the
+    /// slowest shard has answered.
+    pub completed_ns: Nanos,
+    /// Beam-search hops executed across all shards.
+    pub hops: usize,
+    /// Merged top-k in **global** ids, ascending `(distance, id)`.
+    pub results: Vec<Neighbor>,
+}
+
+impl ClusterQueryOutcome {
+    /// End-to-end latency the client observed (arrival → merged top-k).
+    pub fn latency_ns(&self) -> Nanos {
+        self.completed_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
+/// Per-shard slice of a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBreakdown {
+    /// Shard index in the plan.
+    pub shard: usize,
+    /// Vectors the shard currently owns.
+    pub vertices: usize,
+    /// Beam-search hops the shard executed (its share of the work).
+    pub hops: usize,
+    /// The shard engine's full report (QPS, latency percentiles, flash
+    /// stats, pages programmed — everything a single device reports).
+    pub report: ServeReport,
+}
+
+/// Result of serving a stream of sessions on the cluster.
+///
+/// Equality inherits [`ServeReport`]'s convention: host wall-clock
+/// fields are excluded, everything else — merged outcomes, update
+/// outcomes, every per-shard breakdown — must match bit-for-bit for two
+/// reports to compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// One record per submitted cluster query, in submission order.
+    pub outcomes: Vec<ClusterQueryOutcome>,
+    /// One record per submitted cluster update, in submission order
+    /// (`assigned` ids are global).
+    pub update_outcomes: Vec<UpdateOutcome>,
+    /// Per-shard breakdowns, one per staged shard.
+    pub shards: Vec<ShardBreakdown>,
+    /// Earliest arrival → latest completion across the whole cluster.
+    pub makespan_ns: Nanos,
+}
+
+impl ClusterReport {
+    /// Cluster queries that completed on every shard.
+    pub fn completed(&self) -> usize {
+        self.count(SessionState::Completed)
+    }
+
+    /// Cluster queries rejected by at least one shard's backpressure.
+    pub fn rejected(&self) -> usize {
+        self.count(SessionState::Rejected)
+    }
+
+    /// Cluster queries cut off at their deadline on at least one shard.
+    pub fn expired(&self) -> usize {
+        self.count(SessionState::Expired)
+    }
+
+    fn count(&self, s: SessionState) -> usize {
+        self.outcomes.iter().filter(|o| o.state == s).count()
+    }
+
+    /// Goodput: fully completed queries per second of cluster makespan.
+    pub fn qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.completed() as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Updates applied to completion.
+    pub fn updates_completed(&self) -> usize {
+        self.update_outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Completed)
+            .count()
+    }
+
+    /// Updates rejected (routing, backpressure or shard-level rejection).
+    pub fn updates_rejected(&self) -> usize {
+        self.update_outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Rejected)
+            .count()
+    }
+
+    /// Latency order statistics over fully completed cluster queries.
+    pub fn latency(&self) -> LatencySummary {
+        let samples: Vec<Nanos> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.state == SessionState::Completed)
+            .map(|o| o.latency_ns())
+            .collect();
+        LatencySummary::from_samples(&samples)
+    }
+
+    /// Write-path totals summed across shards.
+    pub fn update_totals(&self) -> UpdateTotals {
+        let mut total = UpdateTotals::default();
+        for s in &self.shards {
+            total.merge(&s.report.updates);
+        }
+        total
+    }
+
+    /// Load-imbalance factor: the busiest shard's beam-search hop count
+    /// over the mean (1.0 = perfectly balanced). Falls back to vertex
+    /// counts when no search work ran; 0 without shards.
+    pub fn load_imbalance(&self) -> f64 {
+        let over = |f: fn(&ShardBreakdown) -> usize| -> f64 {
+            let max = self.shards.iter().map(f).max().unwrap_or(0) as f64;
+            let sum: usize = self.shards.iter().map(f).sum();
+            let mean = sum as f64 / self.shards.len().max(1) as f64;
+            if mean > 0.0 {
+                max / mean
+            } else {
+                0.0
+            }
+        };
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        let by_hops = over(|s| s.hops);
+        if by_hops > 0.0 {
+            by_hops
+        } else {
+            over(|s| s.vertices)
+        }
+    }
+}
+
+/// One staged shard: a full single-device serving stack plus its local
+/// entry vertex.
+struct Shard<'a> {
+    engine: ServeEngine<'a>,
+    entry: VectorId,
+}
+
+/// Where a cluster update went.
+enum Route {
+    /// Forwarded to `shard` as its `local` update session (`delete`
+    /// carries the global id for translation back).
+    Shard {
+        shard: usize,
+        local: UpdateId,
+        delete: Option<VectorId>,
+    },
+    /// Rejected at the cluster router (unroutable id or shard).
+    Cluster { arrival_ns: Nanos },
+}
+
+/// One scattered query: the per-shard session ids.
+struct Scatter {
+    arrival_ns: Nanos,
+    sessions: Vec<Option<QueryId>>,
+}
+
+/// The scatter–gather cluster engine (see the [module docs](self)).
+pub struct ClusterEngine<'a> {
+    config: &'a NdsConfig,
+    serve: ServeConfig,
+    plan: ShardPlan,
+    /// `None` for shards the plan left empty (possible under the hash
+    /// policy on tiny datasets); they serve no traffic.
+    shards: Vec<Option<Shard<'a>>>,
+    queries: Vec<Scatter>,
+    routes: Vec<Route>,
+    /// Inserts routed to each shard but not yet resolved into the plan.
+    inflight_inserts: Vec<usize>,
+    /// Cluster update outcomes resolved so far (prefix of `routes`).
+    resolved: Vec<UpdateOutcome>,
+}
+
+impl<'a> ClusterEngine<'a> {
+    /// Stages a cluster: splits `dataset` per the plan, builds one index
+    /// and one [`Deployment`] (own flash device) per non-empty shard via
+    /// `build`, which returns the shard's index and its entry vertex in
+    /// shard-local ids (e.g. the Vamana medoid or HNSW entry point).
+    ///
+    /// Every shard serves with the same `config` (homogeneous devices)
+    /// and the same `serve` admission/search knobs.
+    ///
+    /// # Panics
+    /// Panics if the plan's base length differs from the dataset length
+    /// or the dataset is empty.
+    pub fn stage(
+        config: &'a NdsConfig,
+        serve: ServeConfig,
+        plan: ShardPlan,
+        dataset: &Dataset,
+        build: impl Fn(&Dataset) -> (Box<dyn MutableIndex>, VectorId),
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cluster needs at least one vector");
+        let num_shards = plan.num_shards();
+        let shards = plan
+            .extract(dataset)
+            .into_iter()
+            .map(|shard_ds| {
+                if shard_ds.is_empty() {
+                    return None;
+                }
+                let (index, entry) = build(&shard_ds);
+                let deploy = Deployment::stage(config, index, shard_ds);
+                Some(Shard {
+                    engine: ServeEngine::with_deployment(config, serve.clone(), deploy),
+                    entry,
+                })
+            })
+            .collect();
+        Self {
+            config,
+            serve,
+            plan,
+            shards,
+            queries: Vec::new(),
+            routes: Vec::new(),
+            inflight_inserts: vec![0; num_shards],
+            resolved: Vec::new(),
+        }
+    }
+
+    /// The id plan (ground truth of global ↔ shard-local mapping,
+    /// including resolved online inserts).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards in the plan (staged or empty).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A staged shard's serving engine (e.g. to inspect its deployment);
+    /// `None` for empty shards.
+    pub fn shard_engine(&self, shard: usize) -> Option<&ServeEngine<'a>> {
+        self.shards[shard].as_ref().map(|s| &s.engine)
+    }
+
+    /// Scatters one query session to every staged shard and returns the
+    /// cluster id.
+    pub fn submit(&mut self, req: ClusterQueryRequest) -> ClusterQueryId {
+        let id = self.queries.len();
+        let sessions = self
+            .shards
+            .iter_mut()
+            .map(|slot| {
+                slot.as_mut().map(|shard| {
+                    shard.engine.submit(QueryRequest {
+                        query: req.query.clone(),
+                        entries: vec![shard.entry],
+                        arrival_ns: req.arrival_ns,
+                        deadline_ns: req.deadline_ns,
+                    })
+                })
+            })
+            .collect();
+        self.queries.push(Scatter {
+            arrival_ns: req.arrival_ns,
+            sessions,
+        });
+        id
+    }
+
+    /// Routes one update to its owning shard and returns the cluster id.
+    /// Deletes carry **global** ids and must reference a vector the plan
+    /// already maps (run the cluster to completion to resolve pending
+    /// inserts first); inserts are placed by the plan's policy. Updates
+    /// that cannot be routed — an out-of-range delete, or a route to an
+    /// empty shard — are rejected at the cluster router.
+    pub fn submit_update(&mut self, req: UpdateRequest) -> ClusterUpdateId {
+        let id = self.routes.len();
+        let route = match &req.op {
+            UpdateOp::Delete(g) => {
+                if (*g as usize) < self.plan.len() {
+                    let shard = self.plan.shard_of(*g);
+                    let local = self.plan.local_of(*g);
+                    Some((shard, UpdateOp::Delete(local), Some(*g)))
+                } else {
+                    None
+                }
+            }
+            UpdateOp::Insert(v) => {
+                // Route only among staged shards: a plan can leave a
+                // shard empty (no engine), and the policy must skip it
+                // rather than reject inserts forever.
+                let live: Vec<bool> = self.shards.iter().map(Option::is_some).collect();
+                self.plan
+                    .route_insert(&self.inflight_inserts, &live)
+                    .map(|shard| (shard, UpdateOp::Insert(v.clone()), None))
+            }
+        };
+        let route = match route {
+            Some((shard, op, delete)) if self.shards[shard].is_some() => {
+                if delete.is_none() {
+                    self.inflight_inserts[shard] += 1;
+                }
+                let engine = &mut self.shards[shard].as_mut().expect("checked").engine;
+                let local = engine.submit_update(UpdateRequest {
+                    op,
+                    arrival_ns: req.arrival_ns,
+                });
+                Route::Shard {
+                    shard,
+                    local,
+                    delete,
+                }
+            }
+            _ => Route::Cluster {
+                arrival_ns: req.arrival_ns,
+            },
+        };
+        self.routes.push(route);
+        id
+    }
+
+    /// Merged state of a cluster query: `Completed` only once every
+    /// shard session completed.
+    pub fn poll(&self, id: ClusterQueryId) -> SessionState {
+        let states: Vec<SessionState> = self.queries[id]
+            .sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(s, q)| {
+                q.map(|q| {
+                    self.shards[s]
+                        .as_ref()
+                        .expect("session on staged shard")
+                        .engine
+                        .poll(q)
+                })
+            })
+            .collect();
+        merge_states(&states)
+    }
+
+    /// State of a cluster update (cluster-rejected updates report
+    /// `Rejected` immediately).
+    pub fn poll_update(&self, id: ClusterUpdateId) -> SessionState {
+        match &self.routes[id] {
+            Route::Cluster { .. } => SessionState::Rejected,
+            Route::Shard { shard, local, .. } => self.shards[*shard]
+                .as_ref()
+                .expect("routed to staged shard")
+                .engine
+                .poll_update(*local),
+        }
+    }
+
+    /// Drives every shard to completion, stepping shards in index order
+    /// each round on one shared worker pool, and returns the gathered
+    /// report.
+    pub fn run_to_completion(&mut self) -> ClusterReport {
+        let order: Vec<usize> = (0..self.shards.len()).collect();
+        self.run_to_completion_ordered(&order)
+    }
+
+    /// [`run_to_completion`](Self::run_to_completion) stepping shards in
+    /// the given order each round. Shards share no state, so the report
+    /// is **invariant** under the order (pinned by
+    /// `tests/exec_determinism.rs`); the knob exists to prove exactly
+    /// that.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..num_shards()`.
+    pub fn run_to_completion_ordered(&mut self, order: &[usize]) -> ClusterReport {
+        let mut seen = vec![false; self.shards.len()];
+        for &s in order {
+            assert!(s < seen.len() && !seen[s], "order must be a permutation");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "order must cover every shard");
+
+        let config = self.config;
+        let shards = &mut self.shards;
+        crate::exec::with_pool(
+            config.exec_threads,
+            move |job: ServeJob| run_serve_job(job, config),
+            |pool| loop {
+                let mut more = false;
+                for &s in order {
+                    if let Some(shard) = shards[s].as_mut() {
+                        more |= shard.engine.step_with(Some(&mut *pool));
+                    }
+                }
+                if !more {
+                    break;
+                }
+            },
+        );
+        self.report()
+    }
+
+    /// Resolves terminal update sessions (in cluster submission order)
+    /// into cluster outcomes, extending the plan with the global id of
+    /// every completed insert. Stops at the first still-running update
+    /// so global ids are always assigned in submission order.
+    fn resolve_updates(&mut self, reports: &[Option<ServeReport>]) {
+        while self.resolved.len() < self.routes.len() {
+            let id = self.resolved.len();
+            let outcome = match &self.routes[id] {
+                Route::Cluster { arrival_ns } => UpdateOutcome {
+                    id,
+                    state: SessionState::Rejected,
+                    arrival_ns: *arrival_ns,
+                    admitted_ns: *arrival_ns,
+                    completed_ns: *arrival_ns,
+                    assigned: None,
+                    repaired: 0,
+                    pages_programmed: 0,
+                },
+                Route::Shard {
+                    shard,
+                    local,
+                    delete,
+                } => {
+                    let report = reports[*shard].as_ref().expect("routed to staged shard");
+                    let o = &report.update_outcomes[*local];
+                    match o.state {
+                        SessionState::Completed | SessionState::Rejected => {}
+                        _ => break, // still pending on its shard
+                    }
+                    let assigned = match (o.state, delete) {
+                        (SessionState::Completed, Some(g)) => Some(*g),
+                        (SessionState::Completed, None) => {
+                            self.inflight_inserts[*shard] -= 1;
+                            // Bind the *shard-reported* local slot: the
+                            // shard applies updates in arrival order,
+                            // which need not match cluster submission
+                            // order, so the slot cannot be inferred.
+                            let local = o.assigned.expect("completed insert reports its local id");
+                            Some(self.plan.push_at(*shard, local))
+                        }
+                        (_, None) => {
+                            self.inflight_inserts[*shard] -= 1;
+                            None
+                        }
+                        _ => None,
+                    };
+                    UpdateOutcome {
+                        id,
+                        state: o.state,
+                        arrival_ns: o.arrival_ns,
+                        admitted_ns: o.admitted_ns,
+                        completed_ns: o.completed_ns,
+                        assigned,
+                        repaired: o.repaired,
+                        pages_programmed: o.pages_programmed,
+                    }
+                }
+            };
+            self.resolved.push(outcome);
+        }
+    }
+
+    /// Gathers the cluster report: resolves updates, translates every
+    /// per-shard result list into global ids, and stable-merges each
+    /// query's lists by `(distance, global id)`.
+    ///
+    /// Meaningful once [`run_to_completion`](Self::run_to_completion)
+    /// has drained every session (a mid-stream snapshot only covers the
+    /// resolved prefix of updates).
+    ///
+    /// # Panics
+    /// Panics if a result references an insert that is not yet resolved
+    /// (only possible mid-stream).
+    pub fn report(&mut self) -> ClusterReport {
+        let reports: Vec<Option<ServeReport>> = self
+            .shards
+            .iter()
+            .map(|s| s.as_ref().map(|s| s.engine.report()))
+            .collect();
+        self.resolve_updates(&reports);
+
+        let k = self.serve.k;
+        let outcomes: Vec<ClusterQueryOutcome> = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(id, scatter)| {
+                let mut states = Vec::new();
+                let mut merged: Vec<Neighbor> = Vec::new();
+                let mut arrival = Nanos::MAX;
+                let mut completed = 0;
+                let mut hops = 0;
+                for (s, session) in scatter.sessions.iter().enumerate() {
+                    let Some(q) = session else { continue };
+                    let report = reports[s].as_ref().expect("session on staged shard");
+                    let o = &report.outcomes[*q];
+                    states.push(o.state);
+                    arrival = arrival.min(o.arrival_ns);
+                    completed = completed.max(o.completed_ns);
+                    hops += o.hops;
+                    merged.extend(
+                        o.results
+                            .iter()
+                            .map(|n| Neighbor::new(n.distance, self.plan.global_of(s, n.id))),
+                    );
+                }
+                // The gather: a deterministic stable merge — Neighbor's
+                // total order is (distance, id), ties broken by global id.
+                merged.sort_unstable();
+                merged.truncate(k);
+                ClusterQueryOutcome {
+                    id,
+                    state: merge_states(&states),
+                    arrival_ns: if arrival == Nanos::MAX {
+                        scatter.arrival_ns
+                    } else {
+                        arrival
+                    },
+                    completed_ns: completed,
+                    hops,
+                    results: merged,
+                }
+            })
+            .collect();
+
+        let shards: Vec<ShardBreakdown> = reports
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, report)| {
+                report.map(|report| ShardBreakdown {
+                    shard: s,
+                    vertices: self.plan.shard_len(s),
+                    hops: report.outcomes.iter().map(|o| o.hops).sum(),
+                    report,
+                })
+            })
+            .collect();
+
+        let first_arrival = outcomes
+            .iter()
+            .map(|o| o.arrival_ns)
+            .chain(self.resolved.iter().map(|o| o.arrival_ns))
+            .min();
+        let last_completion = outcomes
+            .iter()
+            .map(|o| o.completed_ns)
+            .chain(self.resolved.iter().map(|o| o.completed_ns))
+            .max()
+            .unwrap_or(0);
+        ClusterReport {
+            outcomes,
+            update_outcomes: self.resolved.clone(),
+            shards,
+            makespan_ns: last_completion.saturating_sub(first_arrival.unwrap_or(0)),
+        }
+    }
+}
+
+/// Merges per-shard session states into the cluster-level state.
+fn merge_states(states: &[SessionState]) -> SessionState {
+    if states.is_empty() {
+        return SessionState::Rejected;
+    }
+    if states.contains(&SessionState::Rejected) {
+        return SessionState::Rejected;
+    }
+    if states.contains(&SessionState::Expired) {
+        return SessionState::Expired;
+    }
+    if states.iter().all(|&s| s == SessionState::Completed) {
+        return SessionState::Completed;
+    }
+    // Mixed non-terminal states: report the least-advanced stage.
+    for s in [
+        SessionState::Pending,
+        SessionState::Queued,
+        SessionState::Running,
+    ] {
+        if states.contains(&s) {
+            return s;
+        }
+    }
+    unreachable!("the probes above cover every SessionState variant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndsearch_anns::vamana::{Vamana, VamanaParams};
+    use ndsearch_vector::shard::ShardPolicy;
+    use ndsearch_vector::synthetic::DatasetSpec;
+
+    fn vamana_builder(ds: &Dataset) -> (Box<dyn MutableIndex>, VectorId) {
+        let index = Vamana::build(ds, VamanaParams::default());
+        let entry = index.medoid();
+        (Box::new(index), entry)
+    }
+
+    fn fixture(n: usize, q: usize) -> (NdsConfig, Dataset, Dataset) {
+        let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+        let mut config = NdsConfig::scaled_for(n * 2, base.stored_vector_bytes());
+        config.ecc.hard_decision_failure_prob = 0.0;
+        (config, base, queries)
+    }
+
+    #[test]
+    fn cluster_serves_and_merges_globally() {
+        let (config, base, queries) = fixture(400, 8);
+        let plan = ShardPlan::partition(base.len(), 4, ShardPolicy::Hash, 11);
+        let mut cluster =
+            ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 500, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 8);
+        assert_eq!(report.shards.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(o.results.len(), ServeConfig::default().k);
+            // Global ids, sorted by (distance, id), no duplicates.
+            assert!(o.results.iter().all(|n| (n.id as usize) < base.len()));
+            assert!(o.results.windows(2).all(|w| w[0] < w[1]));
+            assert!(o.hops > 0);
+        }
+        assert!(report.load_imbalance() >= 1.0);
+        assert!(report.qps() > 0.0);
+        assert!(report.latency().p50_ns > 0);
+    }
+
+    #[test]
+    fn updates_route_to_owning_shards() {
+        let (config, base, extra) = fixture(300, 30);
+        let plan = ShardPlan::partition(base.len(), 3, ShardPolicy::BalancedSize, 0);
+        let mut cluster =
+            ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+        // Deletes by global id; inserts routed by the balanced policy.
+        let d0 = cluster.submit_update(UpdateRequest::delete_at(0, 5));
+        let d1 = cluster.submit_update(UpdateRequest::delete_at(0, 250));
+        let bad = cluster.submit_update(UpdateRequest::delete_at(0, 9_999));
+        let mut ins = Vec::new();
+        for (_, v) in extra.iter() {
+            ins.push(cluster.submit_update(UpdateRequest::insert_at(10, v.to_vec())));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(cluster.poll_update(d0), SessionState::Completed);
+        assert_eq!(cluster.poll_update(d1), SessionState::Completed);
+        assert_eq!(cluster.poll_update(bad), SessionState::Rejected);
+        assert_eq!(report.updates_completed(), 2 + extra.len());
+        assert_eq!(report.updates_rejected(), 1);
+        // Completed inserts got consecutive global ids in submission
+        // order, and the plan now maps them.
+        for (i, &u) in ins.iter().enumerate() {
+            let o = &report.update_outcomes[u];
+            assert_eq!(o.state, SessionState::Completed);
+            assert_eq!(o.assigned, Some((300 + i) as VectorId));
+            let g = o.assigned.unwrap();
+            let s = cluster.plan().shard_of(g);
+            assert_eq!(cluster.plan().global_of(s, cluster.plan().local_of(g)), g);
+            // The owning shard's deployment actually grew.
+            let deploy = cluster.shard_engine(s).unwrap().deployment();
+            assert!(deploy.dataset().len() > 100);
+        }
+        // Balanced routing kept shard sizes within one of each other.
+        let sizes: Vec<usize> = (0..3).map(|s| cluster.plan().shard_len(s)).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "sizes {sizes:?}");
+        // Deletes tombstoned on the owning shard.
+        let s5 = cluster.plan().shard_of(5);
+        assert!(cluster
+            .shard_engine(s5)
+            .unwrap()
+            .deployment()
+            .is_deleted(cluster.plan().local_of(5)));
+        // Flash write path charged somewhere.
+        assert!(report.update_totals().pages_programmed > 0);
+        assert!(report.update_totals().write_amplification() > 0.0);
+    }
+
+    #[test]
+    fn single_shard_cluster_matches_unsharded_engine() {
+        let (config, base, queries) = fixture(300, 6);
+        // Unsharded reference.
+        let index = Vamana::build(&base, VamanaParams::default());
+        let deploy = Deployment::stage(&config, Box::new(index.clone()), base.clone());
+        let mut flat = ServeEngine::with_deployment(&config, ServeConfig::default(), deploy);
+        for (i, (_, q)) in queries.iter().enumerate() {
+            flat.submit(QueryRequest::at(
+                i as Nanos * 1_000,
+                q.to_vec(),
+                vec![index.medoid()],
+            ));
+        }
+        let flat_report = flat.run_to_completion();
+
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let mut cluster =
+            ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 1_000, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        // One shard holding everything is the unsharded engine: same
+        // results, same timing.
+        for (c, f) in report.outcomes.iter().zip(&flat_report.outcomes) {
+            assert_eq!(c.results, f.results);
+            assert_eq!(c.completed_ns, f.completed_ns);
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrivals_keep_global_ids_consistent() {
+        // Shards apply updates in *arrival* order; the cluster assigns
+        // global ids in *submission* order. A later-submitted insert
+        // with an earlier arrival therefore lands in an earlier local
+        // slot — the plan must bind each global id to the slot that
+        // actually holds that insert's vector.
+        let (config, base, extra) = fixture(200, 4);
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let mut cluster =
+            ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+        let va = extra.vector(0).to_vec();
+        let vb = extra.vector(1).to_vec();
+        let a = cluster.submit_update(UpdateRequest::insert_at(1_000_000, va.clone()));
+        let b = cluster.submit_update(UpdateRequest::insert_at(0, vb.clone()));
+        let report = cluster.run_to_completion();
+        assert_eq!(report.updates_completed(), 2);
+        let (ga, gb) = (
+            report.update_outcomes[a].assigned.unwrap(),
+            report.update_outcomes[b].assigned.unwrap(),
+        );
+        assert_eq!((ga, gb), (200, 201), "dense global ids, submission order");
+        let dataset = cluster.shard_engine(0).unwrap().deployment().dataset();
+        let plan = cluster.plan();
+        assert_eq!(
+            dataset.vector(plan.local_of(ga)),
+            &va[..],
+            "global id A dereferences B's vector"
+        );
+        assert_eq!(dataset.vector(plan.local_of(gb)), &vb[..]);
+    }
+
+    #[test]
+    fn hash_routing_survives_empty_shards() {
+        // 12 vectors over 8 hash shards leaves some shards empty; insert
+        // routing must probe past them instead of rejecting forever.
+        let (config, _, extra) = fixture(200, 40);
+        let small = {
+            let mut ds = Dataset::new(extra.dim());
+            ds.set_stored_vector_bytes(extra.stored_vector_bytes());
+            for (_, v) in extra.iter().take(12) {
+                ds.try_push(v).unwrap();
+            }
+            ds
+        };
+        let plan = ShardPlan::partition(small.len(), 8, ShardPolicy::Hash, 3);
+        assert!(
+            (0..8).any(|s| plan.shard_len(s) == 0),
+            "fixture should leave at least one shard empty"
+        );
+        let mut cluster = ClusterEngine::stage(
+            &config,
+            ServeConfig::default(),
+            plan,
+            &small,
+            vamana_builder,
+        );
+        for (_, v) in extra.iter() {
+            cluster.submit_update(UpdateRequest::insert_at(0, v.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.updates_completed(), 40, "inserts livelocked");
+        assert_eq!(report.updates_rejected(), 0);
+        assert_eq!(cluster.plan().len(), 52);
+    }
+
+    #[test]
+    fn deadline_expiry_and_mixed_states_merge() {
+        let (config, base, queries) = fixture(250, 1);
+        let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 0);
+        let mut cluster =
+            ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+        let mut req = ClusterQueryRequest::at(0, queries.vector(0).to_vec());
+        req.deadline_ns = Some(1);
+        let id = cluster.submit(req);
+        let report = cluster.run_to_completion();
+        assert_eq!(report.outcomes[id].state, SessionState::Expired);
+        assert_eq!(report.expired(), 1);
+    }
+}

@@ -38,7 +38,13 @@
 //!   insert/delete as update sessions served alongside queries, the
 //!   LUNCSR base+delta overlay kept in lock-step with the live index,
 //!   the flash program/erase write path (tPROG, wear, amplification),
-//!   and deterministic compaction.
+//!   and deterministic compaction;
+//! * [`cluster::ClusterEngine`] — the scale-out tier: a
+//!   [`ShardPlan`](ndsearch_vector::shard::ShardPlan)-partitioned
+//!   cluster of per-shard deployments, queries scattered to every shard
+//!   and gathered by a deterministic `(distance, global id)` merge,
+//!   updates routed to their owning shard, per-shard breakdowns and
+//!   load-imbalance reporting.
 //!
 //! # Example
 //!
@@ -61,6 +67,7 @@
 
 pub mod alloc;
 pub mod area;
+pub mod cluster;
 pub mod config;
 pub mod deploy;
 pub mod energy;
@@ -75,6 +82,7 @@ pub mod speculative;
 pub mod stream;
 pub mod vgen;
 
+pub use cluster::{ClusterEngine, ClusterQueryRequest, ClusterReport, ShardBreakdown};
 pub use config::{NdsConfig, SchedulingConfig};
 pub use deploy::{CompactionReport, Deployment, InsertError, UpdateTotals};
 pub use engine::NdsEngine;

@@ -121,7 +121,7 @@ const HOP_PARALLEL_MIN: usize = 8;
 /// graph, staged overlay), taken at its round's boundary: online updates
 /// mutate the deployment *between* rounds on the scheduler thread, so a
 /// job never observes a torn state and never needs a lock.
-enum ServeJob {
+pub(crate) enum ServeJob {
     /// Advance one session's beam searcher by one hop.
     Hop {
         /// Slot in the in-flight list (admission order).
@@ -145,7 +145,7 @@ enum ServeJob {
 }
 
 /// Result of one [`ServeJob`].
-enum ServeOut {
+pub(crate) enum ServeOut {
     /// A hop step's outcome.
     Hop {
         slot: u32,
@@ -160,13 +160,14 @@ enum ServeOut {
     Lun(LunOutcome),
 }
 
-/// The serving pool: hop and LUN jobs in, outcomes out.
-type ServePool<'f> = Pool<'f, ServeJob, ServeOut>;
+/// The serving pool: hop and LUN jobs in, outcomes out. The cluster tier
+/// ([`crate::cluster`]) shares one pool across every shard's engine.
+pub(crate) type ServePool<'f> = Pool<'f, ServeJob, ServeOut>;
 
 /// Evaluates one serving job (worker threads and the inline path share
 /// this function, so both produce identical results). All world state
 /// arrives inside the job as round-boundary snapshots.
-fn run_serve_job(job: ServeJob, config: &NdsConfig) -> ServeOut {
+pub(crate) fn run_serve_job(job: ServeJob, config: &NdsConfig) -> ServeOut {
     match job {
         ServeJob::Hop {
             slot,
@@ -934,7 +935,7 @@ impl<'a> ServeEngine<'a> {
         self.step_with(None)
     }
 
-    fn step_with(&mut self, pool: Option<&mut ServePool<'_>>) -> bool {
+    pub(crate) fn step_with(&mut self, pool: Option<&mut ServePool<'_>>) -> bool {
         let wall_start = std::time::Instant::now();
         let more = self.step_round_inner(pool);
         self.wall += wall_start.elapsed();

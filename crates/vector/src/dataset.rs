@@ -122,17 +122,6 @@ impl Dataset {
         Ok((self.len() - 1) as VectorId)
     }
 
-    /// Appends one vector.
-    ///
-    /// # Panics
-    /// Panics if `v.len() != self.dim()`.
-    #[deprecated(note = "use `try_push`, which reports the shape mismatch instead of panicking")]
-    pub fn push(&mut self, v: &[f32]) {
-        if let Err(e) = self.try_push(v) {
-            panic!("vector dimension mismatch: {e}");
-        }
-    }
-
     /// Number of vectors stored.
     pub fn len(&self) -> usize {
         self.data.len() / self.dim

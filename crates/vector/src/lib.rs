@@ -5,8 +5,9 @@
 //! ([`DistanceKind`]), deterministic random number generation
 //! ([`rng::SplitMix64`], [`rng::Pcg32`]), synthetic dataset presets mirroring
 //! the paper's five benchmarks ([`synthetic::DatasetSpec`]), exact
-//! ground-truth / recall evaluation ([`recall`]) and a bounded top-k
-//! collector ([`topk::TopK`]).
+//! ground-truth / recall evaluation ([`recall`]), a bounded top-k
+//! collector ([`topk::TopK`]) and the dataset partitioner behind the
+//! sharded cluster serving tier ([`shard::ShardPlan`]).
 //!
 //! The NDSEARCH paper evaluates on glove-100, fashion-mnist, sift-1b,
 //! deep-1b and spacev-1b. Billion-scale corpora are not tractable inside a
@@ -33,10 +34,12 @@ pub mod dataset;
 pub mod distance;
 pub mod recall;
 pub mod rng;
+pub mod shard;
 pub mod synthetic;
 pub mod topk;
 
 pub use dataset::{Dataset, VectorId};
 pub use distance::DistanceKind;
 pub use recall::{ground_truth, recall_at_k};
+pub use shard::{ShardPlan, ShardPolicy};
 pub use topk::TopK;

@@ -42,6 +42,17 @@
 //! each scheduling round, reporting QPS and p50/p99 latency. See
 //! `examples/serving_concurrent.rs` and the `serve_sweep` bench binary.
 //!
+//! ## Sharded multi-device serving
+//!
+//! The cluster tier (`core::cluster`, with the
+//! [`vector::shard::ShardPlan`] partitioner) scales serving out across
+//! many simulated devices: per-shard deployments (own index, LUNCSR
+//! staging and flash device), queries scattered to every shard on one
+//! shared worker pool, per-shard top-k gathered by a deterministic
+//! `(distance, global id)` merge, and updates routed to their owning
+//! shard. See the "Sharded serving" section of `docs/ARCHITECTURE.md`
+//! and the `cluster_sweep` bench binary.
+//!
 //! See `examples/` for full scenarios and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 

@@ -1,17 +1,21 @@
 //! End-to-end integration: every ANNS algorithm → traces → static
-//! scheduling → NDSEARCH engine, with recall and report sanity checks.
+//! scheduling → NDSEARCH engine, with recall and report sanity checks —
+//! plus the 4-shard scatter–gather cluster at the same recall gates.
 
 use ndsearch::anns::hcnng::{Hcnng, HcnngParams};
 use ndsearch::anns::hnsw::{Hnsw, HnswParams};
-use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::anns::index::{GraphAnnsIndex, MutableIndex, SearchParams};
 use ndsearch::anns::togg::{Togg, ToggParams};
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
+use ndsearch::core::cluster::{ClusterEngine, ClusterQueryRequest};
 use ndsearch::core::config::NdsConfig;
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
-use ndsearch::vector::recall::{ground_truth, recall_at_k};
+use ndsearch::core::serve::{ServeConfig, SessionState, UpdateRequest};
+use ndsearch::vector::recall::{exact_knn, ground_truth, recall_at_k};
+use ndsearch::vector::shard::{ShardPlan, ShardPolicy};
 use ndsearch::vector::synthetic::DatasetSpec;
-use ndsearch::vector::DistanceKind;
+use ndsearch::vector::{Dataset, DistanceKind, VectorId};
 
 fn pipeline(index: &dyn GraphAnnsIndex, min_recall: f64) {
     let (base, queries) = DatasetSpec::sift_scaled(700, 24).build_pair();
@@ -65,4 +69,178 @@ fn togg_end_to_end() {
     let base = DatasetSpec::sift_scaled(700, 24).build();
     let index = Togg::build(&base, ToggParams::default());
     pipeline(&index, 0.80);
+}
+
+/// Serves the benchmark queries through a 4-shard scatter–gather cluster
+/// and gates the merged recall at the same threshold as the single-device
+/// pipeline above.
+fn cluster_pipeline(
+    build: impl Fn(&Dataset) -> (Box<dyn MutableIndex>, VectorId),
+    min_recall: f64,
+    label: &str,
+) {
+    let (base, queries) = DatasetSpec::sift_scaled(700, 24).build_pair();
+    let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let serve = ServeConfig {
+        k: 10,
+        beam_width: 80,
+        ..ServeConfig::default()
+    };
+    let plan = ShardPlan::partition(base.len(), 4, ShardPolicy::BalancedSize, 0x5A);
+    let mut cluster = ClusterEngine::stage(&config, serve, plan, &base, build);
+    for (_, q) in queries.iter() {
+        cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+    }
+    let report = cluster.run_to_completion();
+    assert_eq!(
+        report.completed(),
+        queries.len(),
+        "{label}: queries dropped"
+    );
+
+    let merged: Vec<Vec<VectorId>> = report
+        .outcomes
+        .iter()
+        .map(|o| o.results.iter().map(|n| n.id).collect())
+        .collect();
+    let gt = ground_truth(&base, &queries, 10, DistanceKind::L2);
+    let recall = recall_at_k(&gt, &merged, 10);
+    assert!(
+        recall >= min_recall,
+        "{label}: 4-shard recall {recall} below {min_recall}"
+    );
+
+    // The cluster really fanned out: every shard served every query and
+    // the balanced partition kept the load near-even.
+    assert_eq!(report.shards.len(), 4);
+    for s in &report.shards {
+        assert_eq!(s.report.completed(), queries.len());
+        assert!(s.hops > 0);
+        assert!(s.report.stats.page_reads > 0);
+    }
+    assert!(report.load_imbalance() >= 1.0);
+    assert!(report.qps() > 0.0);
+    assert!(report.latency().p99_ns >= report.latency().p50_ns);
+}
+
+#[test]
+fn hnsw_cluster_end_to_end() {
+    cluster_pipeline(
+        |ds| {
+            let index = Hnsw::build(ds, HnswParams::default());
+            let entry = index.entry_point();
+            (Box::new(index) as Box<dyn MutableIndex>, entry)
+        },
+        0.85,
+        "HNSW",
+    );
+}
+
+#[test]
+fn vamana_cluster_end_to_end() {
+    cluster_pipeline(
+        |ds| {
+            let index = Vamana::build(ds, VamanaParams::default());
+            let entry = index.medoid();
+            (Box::new(index) as Box<dyn MutableIndex>, entry)
+        },
+        0.85,
+        "Vamana",
+    );
+}
+
+/// Mixed query + update churn on a 4-shard cluster: ingest a tail of the
+/// corpus and tombstone part of the head while queries are in flight,
+/// then gate recall on the *live* set (inserted vectors present, deleted
+/// vectors excluded) against exact search over it.
+#[test]
+fn cluster_churn_mixed_queries_and_updates() {
+    const N_FULL: usize = 700;
+    const N_BASE: usize = 600;
+    let (full, queries) = DatasetSpec::sift_scaled(N_FULL, 20).build_pair();
+    let mut base = Dataset::new(full.dim());
+    for (_, v) in full.iter().take(N_BASE) {
+        base.try_push(v).unwrap();
+    }
+    base.set_stored_vector_bytes(full.stored_vector_bytes());
+    let mut config = NdsConfig::scaled_for(N_FULL * 2, full.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let serve = ServeConfig {
+        k: 10,
+        beam_width: 80,
+        ..ServeConfig::default()
+    };
+    let plan = ShardPlan::partition(N_BASE, 4, ShardPolicy::BalancedSize, 0x5A);
+    let mut cluster = ClusterEngine::stage(&config, serve, plan, &base, |ds| {
+        let index = Vamana::build(ds, VamanaParams::default());
+        let entry = index.medoid();
+        (Box::new(index) as Box<dyn MutableIndex>, entry)
+    });
+
+    // ---- Churn: ingest the tail, tombstone every 9th base vector,
+    // queries interleaved throughout. ----
+    let deleted: Vec<VectorId> = (0..N_BASE as VectorId).step_by(9).collect();
+    for id in N_BASE..N_FULL {
+        cluster.submit_update(UpdateRequest::insert_at(
+            (id - N_BASE) as u64 * 1_000,
+            full.vector(id as VectorId).to_vec(),
+        ));
+    }
+    for (i, &d) in deleted.iter().enumerate() {
+        cluster.submit_update(UpdateRequest::delete_at(i as u64 * 1_500, d));
+    }
+    for (i, (_, q)) in queries.iter().enumerate() {
+        cluster.submit(ClusterQueryRequest::at(i as u64 * 2_000, q.to_vec()));
+    }
+    let churn = cluster.run_to_completion();
+    assert_eq!(
+        churn.updates_completed(),
+        (N_FULL - N_BASE) + deleted.len(),
+        "updates dropped"
+    );
+    assert_eq!(churn.completed(), queries.len());
+    assert!(churn.update_totals().pages_programmed > 0);
+    assert!(churn.update_totals().write_amplification() > 0.0);
+    // Inserted ids extend the global space in submission order.
+    assert_eq!(cluster.plan().len(), N_FULL);
+
+    // ---- Post-churn wave: results must reflect the live set. ----
+    for (_, q) in queries.iter() {
+        cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+    }
+    let after = cluster.run_to_completion();
+    let wave = &after.outcomes[queries.len()..];
+    let gt: Vec<Vec<VectorId>> = queries
+        .iter()
+        .map(|(_, q)| {
+            exact_knn(&full, q, full.len(), DistanceKind::L2)
+                .into_iter()
+                .filter(|n| !deleted.contains(&n.id))
+                .take(10)
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+    let mut hits = 0usize;
+    for (o, want) in wave.iter().zip(&gt) {
+        assert_eq!(o.state, SessionState::Completed);
+        assert!(!o.results.is_empty());
+        for n in &o.results {
+            assert!(
+                !deleted.contains(&n.id),
+                "query {} surfaced tombstoned vertex {}",
+                o.id,
+                n.id
+            );
+            if want.contains(&n.id) {
+                hits += 1;
+            }
+        }
+    }
+    let recall = hits as f64 / (wave.len() * 10) as f64;
+    assert!(
+        recall >= 0.80,
+        "post-churn 4-shard recall {recall} below 0.80"
+    );
 }

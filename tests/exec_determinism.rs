@@ -14,16 +14,19 @@
 use proptest::prelude::*;
 use proptest::test_runner::{Config, TestRng};
 
-use ndsearch::anns::index::{GraphAnnsIndex, SearchParams};
+use ndsearch::anns::index::{GraphAnnsIndex, MutableIndex, SearchParams};
 use ndsearch::anns::trace::BatchTrace;
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
+use ndsearch::core::cluster::{ClusterEngine, ClusterQueryRequest};
 use ndsearch::core::config::NdsConfig;
 use ndsearch::core::deploy::Deployment;
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
 use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
 use ndsearch::flash::timing::Nanos;
+use ndsearch::vector::shard::{ShardPlan, ShardPolicy};
 use ndsearch::vector::synthetic::DatasetSpec;
+use ndsearch::vector::{Dataset, VectorId};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -144,6 +147,96 @@ fn mixed_update_serving_bit_identical_across_thread_counts() {
                 "mixed serving diverged between 1 and 4 threads"
             );
             prop_assert!(reports[0].updates_completed() > 0);
+            Ok(())
+        },
+    );
+}
+
+/// Sharded scatter–gather serving: every shard engine is bit-identical
+/// at any thread count and shards share no state, so the full cluster
+/// report — merged outcomes, update outcomes, every per-shard breakdown
+/// (wall-clock fields excluded by `ServeReport`'s equality) — must be
+/// bit-identical at `exec_threads` ∈ {1, 4} *and* invariant under the
+/// order shards are stepped in.
+#[test]
+fn cluster_report_bit_identical_across_thread_counts_and_shard_order() {
+    proptest::test_runner::run(
+        Config { cases: 2 },
+        "cluster_report_bit_identical_across_thread_counts_and_shard_order",
+        |rng| {
+            let n = (200usize..320).generate(rng);
+            let q = (4usize..9).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let mut config = random_config(rng, n * 2, base.stored_vector_bytes());
+            config.refresh_read_threshold = 0;
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                max_updates_per_round: (1usize..4).generate(rng),
+                ..ServeConfig::default()
+            };
+            let policy = if any::<bool>().generate(rng) {
+                ShardPolicy::Hash
+            } else {
+                ShardPolicy::BalancedSize
+            };
+            let plan_seed = (0u64..u64::MAX).generate(rng);
+            let interarrival = (0u64..2_000).generate(rng);
+            let n_inserts = (3usize..10).generate(rng);
+            let n_deletes = (1usize..6).generate(rng);
+            let shards = 4usize;
+
+            let builder = |ds: &Dataset| {
+                let index = Vamana::build(ds, VamanaParams::default());
+                let entry = index.medoid();
+                (Box::new(index) as Box<dyn MutableIndex>, entry)
+            };
+            let run = |threads: usize, order: &[usize]| {
+                let mut c = config.clone();
+                c.exec_threads = threads;
+                let plan = ShardPlan::partition(n, shards, policy, plan_seed);
+                let mut cluster = ClusterEngine::stage(&c, serve.clone(), plan, &base, builder);
+                for (i, (_, qv)) in queries.iter().enumerate() {
+                    cluster.submit(ClusterQueryRequest::at(
+                        i as Nanos * interarrival,
+                        qv.to_vec(),
+                    ));
+                }
+                for i in 0..n_inserts {
+                    cluster.submit_update(UpdateRequest::insert_at(
+                        i as Nanos * interarrival + 500,
+                        queries.vector((i % queries.len()) as u32).to_vec(),
+                    ));
+                }
+                for i in 0..n_deletes {
+                    cluster.submit_update(UpdateRequest::delete_at(
+                        i as Nanos * interarrival + 900,
+                        (i * 7) as VectorId % n as VectorId,
+                    ));
+                }
+                cluster.run_to_completion_ordered(order)
+            };
+            let identity: Vec<usize> = (0..shards).collect();
+            let reference = run(1, &identity);
+            prop_assert!(reference.updates_completed() > 0);
+            prop_assert_eq!(
+                &reference,
+                &run(4, &identity),
+                "cluster diverged between 1 and 4 threads"
+            );
+            for order in [[3usize, 1, 0, 2], [2, 3, 0, 1]] {
+                prop_assert_eq!(
+                    &reference,
+                    &run(1, &order),
+                    "cluster diverged under shard step order {:?}",
+                    order
+                );
+            }
+            prop_assert_eq!(
+                &reference,
+                &run(4, &[1usize, 0, 3, 2]),
+                "cluster diverged under 4 threads + permuted shard order"
+            );
             Ok(())
         },
     );
