@@ -1,0 +1,260 @@
+//! Replicated serving sweep: routing policies under a degraded replica,
+//! and failover under a mid-run device loss.
+//!
+//! Part 1 storms one replica of every shard (hard-decision LDPC failure
+//! probability 0.9, so each of its reads pays the soft-decode penalty)
+//! and serves the same staggered query wave under round-robin,
+//! least-loaded and hedged routing, against a healthy baseline. The
+//! hedged router fires a backup on the healthy replica once a session
+//! has been outstanding for half the baseline median latency — its p99
+//! must beat round-robin's, which keeps sending every other query
+//! straight into the straggler. Part 2 kills a replica mid-run and reports
+//! failover counts, availability and recall of the degraded cluster. A
+//! machine-readable `BENCH_replica.json` snapshot seeds the perf
+//! trajectory across PRs.
+//!
+//! Scale knobs: `NDS_N` (base vectors), `NDS_K` (top-k),
+//! `NDS_BENCH_JSON` (snapshot path, default `BENCH_replica.json`).
+
+use ndsearch_anns::index::MutableIndex;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_bench::{env_usize, f, print_table};
+use ndsearch_core::cluster::{
+    ClusterEngine, ClusterQueryRequest, ClusterReport, FailureSchedule, ReplicaPolicy,
+    ReplicationConfig,
+};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::serve::ServeConfig;
+use ndsearch_flash::timing::Nanos;
+use ndsearch_vector::recall::{ground_truth, recall_at_k};
+use ndsearch_vector::shard::{ShardPlan, ShardPolicy};
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::{Dataset, DistanceKind, VectorId};
+
+const N_QUERIES: usize = 32;
+const PLAN_SEED: u64 = 0x5A4D;
+const STORM_PROB: f64 = 0.9;
+/// Inter-arrival gap: an open, low-load wave so queue depth stays
+/// shallow and the straggler replica's service time (not admission
+/// queueing) dominates the tail. This is a tail-latency benchmark, not a
+/// throughput one — QPS here is bounded by the arrival rate by design.
+const GAP_NS: Nanos = 1_000_000;
+
+fn vamana_builder(ds: &Dataset) -> (Box<dyn MutableIndex>, VectorId) {
+    let index = Vamana::build(ds, VamanaParams::default());
+    let entry = index.medoid();
+    (Box::new(index), entry)
+}
+
+fn main() {
+    let n = env_usize("NDS_N", 3000);
+    let k = env_usize("NDS_K", 10);
+    let (base, queries) = DatasetSpec::sift_scaled(n, N_QUERIES).build_pair();
+    let mut config = NdsConfig::scaled_for(n * 2, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    // A severe retention episode: each soft-decision fallback walks a
+    // read-retry voltage ladder, not a single re-read, so the stormed
+    // replica's reads cost several times a healthy read. This is what
+    // makes the straggler slow enough that routing policy matters.
+    config.ecc.t_soft_decode_ns = 40_000;
+    let serve = ServeConfig {
+        k,
+        ..ServeConfig::default()
+    };
+    let gt = ground_truth(&base, &queries, k, DistanceKind::L2);
+
+    let run = |shards: usize, replication: ReplicationConfig| -> ClusterReport {
+        let plan = ShardPlan::partition(n, shards, ShardPolicy::BalancedSize, PLAN_SEED);
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            serve.clone(),
+            plan,
+            replication,
+            &base,
+            vamana_builder,
+        );
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * GAP_NS, q.to_vec()));
+        }
+        cluster.run_to_completion()
+    };
+    let recall_of = |report: &ClusterReport| -> f64 {
+        let ids: Vec<Vec<VectorId>> = report
+            .outcomes
+            .iter()
+            .map(|o| o.results.iter().map(|nb| nb.id).collect())
+            .collect();
+        recall_at_k(&gt, &ids, k)
+    };
+
+    // ---- Part 1: routing policies with one stormed replica per shard
+    // (2 shards × 2 replicas; replica 0 of each shard degraded). ----
+    let storm = (0..2).fold(FailureSchedule::new(), |sch, s| {
+        sch.ecc_storm(0, s, 0, STORM_PROB)
+    });
+    let healthy = run(2, ReplicationConfig::replicated(2));
+    assert_eq!(healthy.completed(), N_QUERIES, "healthy: queries dropped");
+    // Hedge once a session is outstanding past half the healthy median:
+    // a stormed primary pays the retry ladder on most reads, so its
+    // backup (delay + healthy service) finishes well ahead of it, while
+    // a healthy primary merely wastes its backup and still wins.
+    let hedge_delay = (healthy.latency().p50_ns / 2).max(1);
+
+    let mut rows = Vec::new();
+    let mut snapshot_routing: Vec<String> = Vec::new();
+    let mut stormed_p99 = [0u64; 3];
+    let cases: [(&str, bool, ReplicationConfig); 4] = [
+        ("round_robin", false, ReplicationConfig::replicated(2)),
+        (
+            "round_robin",
+            true,
+            ReplicationConfig::replicated(2).with_failures(storm.clone()),
+        ),
+        (
+            "least_loaded",
+            true,
+            ReplicationConfig::replicated(2)
+                .with_policy(ReplicaPolicy::LeastLoaded)
+                .with_failures(storm.clone()),
+        ),
+        (
+            "hedged",
+            true,
+            ReplicationConfig::replicated(2)
+                .with_policy(ReplicaPolicy::Hedged {
+                    delay_ns: hedge_delay,
+                })
+                .with_failures(storm.clone()),
+        ),
+    ];
+    for (i, (name, stormed, replication)) in cases.into_iter().enumerate() {
+        let report = if stormed {
+            run(2, replication)
+        } else {
+            healthy.clone()
+        };
+        assert_eq!(report.completed(), N_QUERIES, "{name}: queries dropped");
+        let lat = report.latency();
+        if stormed {
+            stormed_p99[i - 1] = lat.p99_ns;
+        }
+        let recall = recall_of(&report);
+        snapshot_routing.push(format!(
+            "{{\"policy\": \"{name}\", \"stormed\": {stormed}, \"qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"recall\": {recall:.3}, \
+             \"hedges\": {}, \"hedge_wins\": {}, \"hedge_win_rate\": {:.3}, \
+             \"availability\": {:.3}}}",
+            report.qps(),
+            lat.p50_ns as f64 / 1e3,
+            lat.p99_ns as f64 / 1e3,
+            report.hedges(),
+            report.hedge_wins(),
+            report.hedge_win_rate(),
+            report.availability(),
+        ));
+        rows.push(vec![
+            name.to_string(),
+            if stormed { "storm" } else { "none" }.to_string(),
+            f(report.qps() / 1e3, 1),
+            f(lat.p50_ns as f64 / 1e3, 1),
+            f(lat.p99_ns as f64 / 1e3, 1),
+            f(recall, 3),
+            format!("{}/{}", report.hedge_wins(), report.hedges()),
+        ]);
+    }
+    print_table(
+        "Routing under a stormed replica (2 shards x 2 replicas, replica 0 degraded)",
+        &[
+            "policy",
+            "fault",
+            "kQPS",
+            "p50 us",
+            "p99 us",
+            "recall",
+            "hedge w/f",
+        ],
+        &rows,
+    );
+    println!("\nRound-robin keeps sending every other query into the straggler;");
+    println!("hedging re-issues sessions that outlive half the healthy median");
+    println!(
+        "(delay = {:.0} us) and takes the earlier completion.",
+        hedge_delay as f64 / 1e3
+    );
+    let [rr_p99, _ll_p99, hedged_p99] = stormed_p99;
+    assert!(
+        hedged_p99 < rr_p99,
+        "hedged p99 ({hedged_p99} ns) must beat round-robin p99 ({rr_p99} ns) \
+         under an ECC-storm straggler"
+    );
+
+    // ---- Part 2: mid-run device loss (4 shards × 2 replicas). ----
+    let kill_at = (N_QUERIES as Nanos / 4) * GAP_NS; // 25 % into the wave
+    let failover_report = run(
+        4,
+        ReplicationConfig::replicated(2).with_failures(FailureSchedule::new().kill(kill_at, 0, 0)),
+    );
+    assert_eq!(
+        failover_report.completed(),
+        N_QUERIES,
+        "failover: queries dropped"
+    );
+    assert!(
+        failover_report.failovers() > 0,
+        "mid-run kill produced no failovers"
+    );
+    let availability = failover_report.availability();
+    assert!(
+        availability > 0.0 && availability <= 1.0,
+        "availability {availability} outside (0, 1]"
+    );
+    let fo_recall = recall_of(&failover_report);
+    let fo_lat = failover_report.latency();
+    print_table(
+        "Mid-run device loss (4 shards x 2 replicas, shard 0 replica 0 killed)",
+        &[
+            "kill at us",
+            "completed",
+            "failovers",
+            "avail",
+            "kQPS",
+            "p99 us",
+            "recall",
+        ],
+        &[vec![
+            f(kill_at as f64 / 1e3, 0),
+            failover_report.completed().to_string(),
+            failover_report.failovers().to_string(),
+            f(availability, 3),
+            f(failover_report.qps() / 1e3, 1),
+            f(fo_lat.p99_ns as f64 / 1e3, 1),
+            f(fo_recall, 3),
+        ]],
+    );
+    println!("\nEvery session the dead replica held was re-seeded on its survivor");
+    println!("at the kill timestamp; later arrivals route around the dead device.");
+
+    // ---- Machine-readable snapshot for the perf trajectory. ----
+    let path = std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_replica.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"replica\",\n  \"n_base\": {n},\n  \"k\": {k},\n  \
+         \"replicas\": 2,\n  \"storm_prob\": {STORM_PROB},\n  \
+         \"hedge_delay_us\": {delay:.1},\n  \"routing\": [\n    {routing}\n  ],\n  \
+         \"failover\": {{\"shards\": 4, \"kill_at_us\": {kill:.1}, \
+         \"completed\": {completed}, \"failovers\": {failovers}, \
+         \"availability\": {availability:.3}, \"qps\": {qps:.1}, \
+         \"p99_us\": {p99:.1}, \"recall\": {recall:.3}}}\n}}\n",
+        delay = hedge_delay as f64 / 1e3,
+        routing = snapshot_routing.join(",\n    "),
+        kill = kill_at as f64 / 1e3,
+        completed = failover_report.completed(),
+        failovers = failover_report.failovers(),
+        qps = failover_report.qps(),
+        p99 = fo_lat.p99_ns as f64 / 1e3,
+        recall = fo_recall,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote bench snapshot to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

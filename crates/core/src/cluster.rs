@@ -1,4 +1,5 @@
-//! Sharded multi-device serving: a scatter–gather cluster of SearSSDs.
+//! Sharded multi-device serving: a scatter–gather cluster of SearSSDs,
+//! with per-shard replication, failover and hedged routing.
 //!
 //! The paper evaluates one in-NAND accelerator; production DiskANN-family
 //! deployments shard billion-point corpora across many SSDs and merge
@@ -8,36 +9,73 @@
 //!
 //! * a [`ShardPlan`] (hash or
 //!   balanced-size policy) splits the dataset into per-shard
-//!   sub-datasets, each staged as its own [`Deployment`] — its own index
-//!   build, LUNCSR staging, FTL, ECC engine and wear model, i.e. its own
-//!   simulated device;
+//!   sub-datasets, each staged as one or more replica [`Deployment`]s —
+//!   each replica its own index build, LUNCSR staging, FTL, ECC engine
+//!   and wear model, i.e. its own simulated device;
 //! * [`ClusterEngine`] **scatters** every query session to all shards
-//!   (one [`ServeEngine`] session per shard, seeded at that shard's
-//!   entry vertex) and drives all shard engines round-by-round on **one
-//!   shared worker pool** ([`crate::exec`]);
+//!   (one [`ServeEngine`] session on one replica per shard, seeded at
+//!   that shard's entry vertex) and drives all replica engines
+//!   round-by-round on **one shared worker pool** ([`crate::exec`]);
 //! * per-shard top-k lists come back in shard-local ids, are translated
 //!   to global ids through the plan, and are **gathered** by a
 //!   deterministic stable merge — ascending `(distance, global id)`,
 //!   exactly the order [`Neighbor`]'s `Ord` defines — truncated to `k`;
 //! * [`UpdateRequest`]s route to their *owning* shard (deletes via the
-//!   plan's assignment, inserts via the policy's routing rule), so
-//!   online insert/delete keeps working under sharding;
+//!   plan's assignment, inserts via the policy's routing rule) and fan
+//!   out to **every alive replica** of that shard, so replicas stay
+//!   bit-identical copies and online insert/delete keeps working under
+//!   sharding and replication;
 //! * [`ClusterReport`] carries the merged per-query outcomes plus
-//!   per-shard breakdowns ([`ShardBreakdown`]: QPS, latency
-//!   percentiles, pages programmed) and the cluster's load-imbalance
-//!   factor.
+//!   per-shard breakdowns ([`ShardBreakdown`]: per-replica device
+//!   reports, availability, failover and hedge counters) and the
+//!   cluster's load-imbalance factor.
+//!
+//! # Replication & failover
+//!
+//! [`ReplicationConfig`] stages `replicas` copies of every shard. Each
+//! replica is a full independent device (same sub-dataset, same
+//! deterministic index build, its own flash stack), so any replica can
+//! answer any query for its shard. Queries route to one replica per
+//! shard by [`ReplicaPolicy`]:
+//!
+//! * `RoundRobin` — cycle through alive replicas per shard;
+//! * `LeastLoaded` — the alive replica with the fewest outstanding
+//!   routed sessions at submission time (ties → lowest index);
+//! * `Hedged { delay_ns }` — round-robin primary, plus a backup copy of
+//!   the session fired on the *next* alive replica once the primary has
+//!   been outstanding for `delay_ns` without finishing; the first
+//!   completion wins the gather (the classic tail-at-scale hedge).
+//!
+//! A [`FailureSchedule`] degrades or kills replicas mid-run at simulated
+//! timestamps: [`FailureKind::EccStorm`] ramps the device's
+//! hard-decision LDPC failure probability (every read pays the
+//! soft-decode penalty), [`FailureKind::WearOut`] bulk-ages every block
+//! of the wear model and re-derives the failure probability from the
+//! worn raw BER, and [`FailureKind::Kill`] drops the device: its
+//! in-flight and queued sessions are **re-seeded on a surviving
+//! replica** (counted in [`ShardBreakdown::failovers`]) and it receives
+//! no further traffic. A shard whose replicas have all been killed
+//! freezes its sessions (the cluster outcome stays non-terminal); events
+//! scheduled after the last completion never fire.
 //!
 //! # Determinism and parity
 //!
-//! Shards share **no** mutable state: each shard engine owns its
-//! deployment, device model and simulated clock, and every per-shard
+//! Replicas share **no** mutable state: each replica engine owns its
+//! deployment, device model and simulated clock, and every per-replica
 //! report is bit-identical at any
 //! [`exec_threads`](crate::config::NdsConfig::exec_threads) (see
-//! [`crate::serve`]). The gather step is a pure sort by `(distance,
-//! global id)`. Hence the cluster report is bit-identical at any thread
-//! count *and* invariant under the order shards are stepped in
-//! ([`ClusterEngine::run_to_completion_ordered`]) — pinned by
-//! `tests/exec_determinism.rs`.
+//! [`crate::serve`]). Failure events and hedges fire at round
+//! boundaries, in schedule/submission order, from simulated clocks only
+//! — never from host time. The gather step is a pure sort by
+//! `(distance, global id)`. Hence the cluster report is bit-identical at
+//! any thread count *and* invariant under the order shards are stepped
+//! in ([`ClusterEngine::run_to_completion_ordered`]) — pinned by
+//! `tests/exec_determinism.rs`, failure schedules included.
+//!
+//! Because replicas of a shard are identical deterministic devices, a
+//! no-failure replicated cluster returns **element-identical** results
+//! to the single-replica cluster under every policy (only timing
+//! changes with load splitting) — pinned by `tests/cluster_parity.rs`.
 //!
 //! When every shard's search is exhaustive over its sub-corpus (beam
 //! width at least the shard size on a connected shard graph), the merge
@@ -53,7 +91,10 @@
 //! # Example
 //!
 //! ```
-//! use ndsearch_core::cluster::{ClusterEngine, ClusterQueryRequest};
+//! use ndsearch_core::cluster::{
+//!     ClusterEngine, ClusterQueryRequest, FailureSchedule, ReplicaPolicy,
+//!     ReplicationConfig,
+//! };
 //! use ndsearch_core::config::NdsConfig;
 //! use ndsearch_core::serve::ServeConfig;
 //! use ndsearch_anns::index::MutableIndex;
@@ -64,10 +105,15 @@
 //! let (base, queries) = DatasetSpec::sift_scaled(300, 4).build_pair();
 //! let config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
 //! let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 7);
-//! let mut cluster = ClusterEngine::stage(
+//! // Two replicas per shard; kill shard 0's first replica mid-run.
+//! let replication = ReplicationConfig::replicated(2)
+//!     .with_policy(ReplicaPolicy::RoundRobin)
+//!     .with_failures(FailureSchedule::new().kill(2_000_000, 0, 0));
+//! let mut cluster = ClusterEngine::stage_replicated(
 //!     &config,
 //!     ServeConfig::default(),
 //!     plan,
+//!     replication,
 //!     &base,
 //!     |shard| {
 //!         let index = Vamana::build(shard, VamanaParams::default());
@@ -80,7 +126,7 @@
 //! }
 //! let report = cluster.run_to_completion();
 //! assert_eq!(report.completed(), 4);
-//! assert!(report.qps() > 0.0);
+//! assert!(report.availability() > 0.0 && report.availability() <= 1.0);
 //! ```
 
 use ndsearch_anns::index::MutableIndex;
@@ -94,8 +140,8 @@ use crate::config::NdsConfig;
 use crate::deploy::{Deployment, UpdateTotals};
 use crate::report::LatencySummary;
 use crate::serve::{
-    run_serve_job, QueryId, QueryRequest, ServeConfig, ServeEngine, ServeJob, ServeReport,
-    SessionState, UpdateId, UpdateOp, UpdateOutcome, UpdateRequest,
+    run_serve_job, QueryId, QueryOutcome, QueryRequest, ServeConfig, ServeEngine, ServeJob,
+    ServeReport, SessionState, UpdateId, UpdateOp, UpdateOutcome, UpdateRequest,
 };
 
 /// Identifier of a cluster query session (dense, submission order).
@@ -104,6 +150,187 @@ pub type ClusterQueryId = usize;
 /// Identifier of a cluster update session (dense, submission order; a
 /// separate space from [`ClusterQueryId`]).
 pub type ClusterUpdateId = usize;
+
+/// How queries pick a replica within their shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPolicy {
+    /// Cycle through alive replicas in index order, one per scattered
+    /// session.
+    RoundRobin,
+    /// The alive replica with the fewest outstanding (non-terminal)
+    /// routed sessions at submission time; ties break to the lowest
+    /// index. With submit-then-run usage this balances outstanding
+    /// counts; it diverges from round-robin once failovers or
+    /// interleaved submission skew the queues.
+    LeastLoaded,
+    /// Round-robin primary plus a *hedge*: if the primary session is
+    /// still unfinished `delay_ns` after its arrival, an identical
+    /// backup session fires on the next alive replica and the first
+    /// completion wins the gather. Bounds tail latency when one replica
+    /// degrades (e.g. an ECC storm) at the cost of duplicated work.
+    Hedged {
+        /// How long the primary may run before the backup fires.
+        delay_ns: Nanos,
+    },
+}
+
+/// What a [`FailureEvent`] does to its target replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureKind {
+    /// The device drops out entirely: it stops stepping, receives no
+    /// further traffic, and its unfinished sessions are re-seeded on a
+    /// surviving replica of the same shard (a *failover*).
+    Kill,
+    /// The device's hard-decision LDPC failure probability jumps to
+    /// `failure_prob` (see
+    /// [`EccEngine::set_hard_decision_failure_prob`](ndsearch_flash::ecc::EccEngine::set_hard_decision_failure_prob)):
+    /// reads start paying the soft-decode penalty and the replica turns
+    /// into a straggler without going down.
+    EccStorm {
+        /// New hard-decision failure probability, clamped to `[0, 1]`.
+        failure_prob: f64,
+    },
+    /// Every block of the device ages by `cycles` P/E cycles at once
+    /// ([`WearModel::age_uniform`](ndsearch_flash::wear::WearModel::age_uniform));
+    /// the hard-decision failure probability is re-derived from the
+    /// worn mean raw BER, so an end-of-life device degrades like a
+    /// physically aged one rather than by a hand-picked constant.
+    WearOut {
+        /// P/E cycles added to every block.
+        cycles: u32,
+    },
+}
+
+/// One scheduled degradation: at simulated time `at_ns`, `kind` happens
+/// to replica `replica` of shard `shard`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// Simulated timestamp the event fires at (checked against the
+    /// target replica's clock at round boundaries).
+    pub at_ns: Nanos,
+    /// Target shard index.
+    pub shard: usize,
+    /// Target replica index within the shard.
+    pub replica: usize,
+    /// What happens.
+    pub kind: FailureKind,
+}
+
+/// A deterministic script of mid-run failures (builder-style).
+///
+/// Events fire at round boundaries once the target replica's simulated
+/// clock reaches `at_ns`, in schedule order — host time never enters,
+/// so a run with a failure schedule is exactly as reproducible as one
+/// without. Events targeting an already-dead replica, an empty shard,
+/// or a time past the last completion never fire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule (no failures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary event.
+    #[must_use]
+    pub fn push(mut self, event: FailureEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds a [`FailureKind::Kill`] of `shard`/`replica` at `at_ns`.
+    #[must_use]
+    pub fn kill(self, at_ns: Nanos, shard: usize, replica: usize) -> Self {
+        self.push(FailureEvent {
+            at_ns,
+            shard,
+            replica,
+            kind: FailureKind::Kill,
+        })
+    }
+
+    /// Adds a [`FailureKind::EccStorm`] on `shard`/`replica` at `at_ns`.
+    #[must_use]
+    pub fn ecc_storm(self, at_ns: Nanos, shard: usize, replica: usize, failure_prob: f64) -> Self {
+        self.push(FailureEvent {
+            at_ns,
+            shard,
+            replica,
+            kind: FailureKind::EccStorm { failure_prob },
+        })
+    }
+
+    /// Adds a [`FailureKind::WearOut`] of `shard`/`replica` at `at_ns`.
+    #[must_use]
+    pub fn wear_out(self, at_ns: Nanos, shard: usize, replica: usize, cycles: u32) -> Self {
+        self.push(FailureEvent {
+            at_ns,
+            shard,
+            replica,
+            kind: FailureKind::WearOut { cycles },
+        })
+    }
+
+    /// The scheduled events, in schedule (= firing) order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Replication knobs for [`ClusterEngine::stage_replicated`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationConfig {
+    /// Replicas per shard (≥ 1; 1 reproduces the unreplicated cluster).
+    pub replicas: usize,
+    /// How queries pick a replica.
+    pub policy: ReplicaPolicy,
+    /// Scripted mid-run degradations.
+    pub failures: FailureSchedule,
+}
+
+impl Default for ReplicationConfig {
+    /// One replica per shard, round-robin (degenerate: the single
+    /// replica), no failures — the pre-replication cluster.
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            policy: ReplicaPolicy::RoundRobin,
+            failures: FailureSchedule::new(),
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// `replicas` copies of every shard, round-robin, no failures.
+    pub fn replicated(replicas: usize) -> Self {
+        Self {
+            replicas,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the routing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplicaPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the failure schedule.
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureSchedule) -> Self {
+        self.failures = failures;
+        self
+    }
+}
 
 /// One query submitted to the cluster. Unlike the single-device
 /// [`QueryRequest`] it carries no entry vertices: the scatter seeds each
@@ -114,7 +341,8 @@ pub struct ClusterQueryRequest {
     pub query: Vec<f32>,
     /// Simulated arrival time.
     pub arrival_ns: Nanos,
-    /// Optional absolute deadline, applied on every shard.
+    /// Optional absolute deadline, applied on every shard (and on every
+    /// hedge/failover copy of the session).
     pub deadline_ns: Option<Nanos>,
 }
 
@@ -130,7 +358,8 @@ impl ClusterQueryRequest {
 }
 
 /// Final record of one cluster query: the gather of its per-shard
-/// sessions.
+/// sessions (per shard, the winning copy — see
+/// [`ReplicaPolicy::Hedged`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterQueryOutcome {
     /// Cluster query id (submission order).
@@ -139,12 +368,13 @@ pub struct ClusterQueryOutcome {
     /// completed; `Rejected` if any shard rejected the session;
     /// otherwise `Expired` if any shard cut it off at the deadline.
     pub state: SessionState,
-    /// Earliest per-shard arrival (the submitted arrival, clamped).
+    /// The submitted arrival time.
     pub arrival_ns: Nanos,
-    /// Latest per-shard completion — the gather cannot merge before the
-    /// slowest shard has answered.
+    /// Latest winning per-shard completion — the gather cannot merge
+    /// before the slowest shard has answered.
     pub completed_ns: Nanos,
-    /// Beam-search hops executed across all shards.
+    /// Beam-search hops executed across all shards, **including** work
+    /// spent on hedges and on sessions abandoned by a failover.
     pub hops: usize,
     /// Merged top-k in **global** ids, ascending `(distance, id)`.
     pub results: Vec<Neighbor>,
@@ -157,6 +387,24 @@ impl ClusterQueryOutcome {
     }
 }
 
+/// One replica's slice of a [`ShardBreakdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaBreakdown {
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// Whether the device was still up at the end of the run.
+    pub alive: bool,
+    /// When the device was killed (`None` if it survived).
+    pub killed_ns: Option<Nanos>,
+    /// Beam-search hops this device executed.
+    pub hops: usize,
+    /// The replica engine's full device report. Its `wall_s` is zeroed:
+    /// all replicas share one worker pool, so per-device host wall-clock
+    /// is meaningless — the cluster-level measurement lives in
+    /// [`ClusterReport::wall_s`].
+    pub report: ServeReport,
+}
+
 /// Per-shard slice of a [`ClusterReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardBreakdown {
@@ -164,20 +412,30 @@ pub struct ShardBreakdown {
     pub shard: usize,
     /// Vectors the shard currently owns.
     pub vertices: usize,
-    /// Beam-search hops the shard executed (its share of the work).
+    /// Beam-search hops the shard executed, summed over replicas.
     pub hops: usize,
-    /// The shard engine's full report (QPS, latency percentiles, flash
-    /// stats, pages programmed — everything a single device reports).
-    pub report: ServeReport,
+    /// Sessions re-seeded on a survivor after a replica was killed.
+    pub failovers: usize,
+    /// Hedge (backup) sessions fired on this shard.
+    pub hedges: usize,
+    /// Hedges that beat their primary to completion.
+    pub hedge_wins: usize,
+    /// Fraction of the run's span (first arrival → last completion) the
+    /// shard's replicas were up, averaged over replicas: 1.0 with no
+    /// kills, in `(0, 1]` otherwise (a replica killed at time `t`
+    /// contributes `t / span`).
+    pub availability: f64,
+    /// Per-replica device reports.
+    pub replicas: Vec<ReplicaBreakdown>,
 }
 
 /// Result of serving a stream of sessions on the cluster.
 ///
 /// Equality inherits [`ServeReport`]'s convention: host wall-clock
 /// fields are excluded, everything else — merged outcomes, update
-/// outcomes, every per-shard breakdown — must match bit-for-bit for two
-/// reports to compare equal.
-#[derive(Debug, Clone, PartialEq)]
+/// outcomes, every per-shard and per-replica breakdown — must match
+/// bit-for-bit for two reports to compare equal.
+#[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// One record per submitted cluster query, in submission order.
     pub outcomes: Vec<ClusterQueryOutcome>,
@@ -188,6 +446,23 @@ pub struct ClusterReport {
     pub shards: Vec<ShardBreakdown>,
     /// Earliest arrival → latest completion across the whole cluster.
     pub makespan_ns: Nanos,
+    /// Host wall-clock seconds spent inside scheduling rounds, measured
+    /// **once across the whole cluster**: every replica engine steps on
+    /// one shared worker pool, so per-shard wall-clock attribution would
+    /// be fiction (the per-replica `wall_s` fields are zeroed). Excluded
+    /// from equality.
+    pub wall_s: f64,
+}
+
+impl PartialEq for ClusterReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `wall_s` is deliberately excluded (host timing, not simulation
+        // output).
+        self.outcomes == other.outcomes
+            && self.update_outcomes == other.update_outcomes
+            && self.shards == other.shards
+            && self.makespan_ns == other.makespan_ns
+    }
 }
 
 impl ClusterReport {
@@ -219,6 +494,50 @@ impl ClusterReport {
         }
     }
 
+    /// Wall-clock simulation throughput: simulated nanoseconds advanced
+    /// per host second spent simulating (0 when nothing was measured).
+    pub fn sim_ns_per_wall_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.makespan_ns as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Sessions re-seeded on a survivor after a kill, cluster-wide.
+    pub fn failovers(&self) -> usize {
+        self.shards.iter().map(|s| s.failovers).sum()
+    }
+
+    /// Hedge (backup) sessions fired, cluster-wide.
+    pub fn hedges(&self) -> usize {
+        self.shards.iter().map(|s| s.hedges).sum()
+    }
+
+    /// Hedges that beat their primary to completion, cluster-wide.
+    pub fn hedge_wins(&self) -> usize {
+        self.shards.iter().map(|s| s.hedge_wins).sum()
+    }
+
+    /// Fraction of fired hedges that won their race (0 if none fired).
+    pub fn hedge_win_rate(&self) -> f64 {
+        let fired = self.hedges();
+        if fired == 0 {
+            0.0
+        } else {
+            self.hedge_wins() as f64 / fired as f64
+        }
+    }
+
+    /// Mean shard availability (1.0 with no kills; see
+    /// [`ShardBreakdown::availability`]).
+    pub fn availability(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 1.0;
+        }
+        self.shards.iter().map(|s| s.availability).sum::<f64>() / self.shards.len() as f64
+    }
+
     /// Updates applied to completion.
     pub fn updates_completed(&self) -> usize {
         self.update_outcomes
@@ -235,7 +554,8 @@ impl ClusterReport {
             .count()
     }
 
-    /// Latency order statistics over fully completed cluster queries.
+    /// Latency order statistics over fully completed cluster queries,
+    /// plus the wall-clock simulation-throughput fields.
     pub fn latency(&self) -> LatencySummary {
         let samples: Vec<Nanos> = self
             .outcomes
@@ -243,14 +563,22 @@ impl ClusterReport {
             .filter(|o| o.state == SessionState::Completed)
             .map(|o| o.latency_ns())
             .collect();
-        LatencySummary::from_samples(&samples)
+        let mut summary = LatencySummary::from_samples(&samples);
+        summary.wall_s = self.wall_s;
+        summary.sim_ns_per_wall_s = self.sim_ns_per_wall_s();
+        summary
     }
 
-    /// Write-path totals summed across shards.
+    /// Write-path totals summed across **every replica device** of every
+    /// shard — fleet-level flash wear, not logical update volume:
+    /// updates fan out to all replicas, so R replicas program ~R× the
+    /// pages of the unreplicated cluster for the same update stream.
     pub fn update_totals(&self) -> UpdateTotals {
         let mut total = UpdateTotals::default();
         for s in &self.shards {
-            total.merge(&s.report.updates);
+            for r in &s.replicas {
+                total.merge(&r.report.updates);
+            }
         }
         total
     }
@@ -281,30 +609,110 @@ impl ClusterReport {
     }
 }
 
-/// One staged shard: a full single-device serving stack plus its local
-/// entry vertex.
-struct Shard<'a> {
+/// One replica device of a shard: a full single-device serving stack
+/// plus its local entry vertex and liveness.
+struct Replica<'a> {
     engine: ServeEngine<'a>,
     entry: VectorId,
+    alive: bool,
+    killed_ns: Option<Nanos>,
+    /// Every query session ever routed here (primaries, hedges and
+    /// failover re-seeds) — the load signal for `LeastLoaded`.
+    routed: Vec<QueryId>,
+}
+
+/// One staged shard: its replica set plus routing state.
+struct Shard<'a> {
+    replicas: Vec<Replica<'a>>,
+    /// Round-robin position (advances per routed primary).
+    cursor: usize,
+    failovers: usize,
+    hedges: usize,
+}
+
+impl Shard<'_> {
+    fn has_alive(&self) -> bool {
+        self.replicas.iter().any(|r| r.alive)
+    }
+
+    /// The next alive replica cyclically after `r` (excluding `r`).
+    fn next_alive_after(&self, r: usize) -> Option<usize> {
+        let n = self.replicas.len();
+        (1..n)
+            .map(|i| (r + i) % n)
+            .find(|&i| self.replicas[i].alive)
+    }
+
+    /// Picks the replica a new primary session routes to, or `None` when
+    /// every replica is dead.
+    fn route_query(&mut self, policy: ReplicaPolicy) -> Option<usize> {
+        let alive: Vec<usize> = (0..self.replicas.len())
+            .filter(|&r| self.replicas[r].alive)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        match policy {
+            ReplicaPolicy::RoundRobin | ReplicaPolicy::Hedged { .. } => {
+                let pick = alive[self.cursor % alive.len()];
+                self.cursor += 1;
+                Some(pick)
+            }
+            ReplicaPolicy::LeastLoaded => alive.into_iter().min_by_key(|&r| {
+                let rep = &self.replicas[r];
+                let outstanding = rep
+                    .routed
+                    .iter()
+                    .filter(|&&q| !is_terminal(rep.engine.poll(q)))
+                    .count();
+                (outstanding, r)
+            }),
+        }
+    }
 }
 
 /// Where a cluster update went.
 enum Route {
-    /// Forwarded to `shard` as its `local` update session (`delete`
-    /// carries the global id for translation back).
+    /// Forwarded to `shard`, fanned out to every replica alive at
+    /// submission (`locals` pairs replica index with that replica's
+    /// update session id; `delete` carries the global id for translation
+    /// back).
     Shard {
         shard: usize,
-        local: UpdateId,
+        locals: Vec<(usize, UpdateId)>,
         delete: Option<VectorId>,
     },
     /// Rejected at the cluster router (unroutable id or shard).
     Cluster { arrival_ns: Nanos },
 }
 
-/// One scattered query: the per-shard session ids.
+/// One copy of a scattered session on one replica.
+#[derive(Debug, Clone, Copy)]
+struct ShardSession {
+    replica: usize,
+    query: QueryId,
+}
+
+/// A scattered query's state on one shard: the primary copy, an
+/// optional hedge, and any copies abandoned by failovers.
+struct ScatterShard {
+    primary: ShardSession,
+    hedge: Option<ShardSession>,
+    /// A hedge was already fired (or deliberately skipped); never fire
+    /// another — unless the hedge itself died, which re-arms this.
+    hedge_spent: bool,
+    /// Copies left frozen on killed replicas (their partial hop work
+    /// still counts toward the outcome).
+    abandoned: Vec<ShardSession>,
+}
+
+/// One scattered query: the request (kept for re-seeding) plus the
+/// per-shard session state.
 struct Scatter {
+    query: Vec<f32>,
     arrival_ns: Nanos,
-    sessions: Vec<Option<QueryId>>,
+    deadline_ns: Option<Nanos>,
+    sessions: Vec<Option<ScatterShard>>,
 }
 
 /// The scatter–gather cluster engine (see the [module docs](self)).
@@ -312,6 +720,7 @@ pub struct ClusterEngine<'a> {
     config: &'a NdsConfig,
     serve: ServeConfig,
     plan: ShardPlan,
+    replication: ReplicationConfig,
     /// `None` for shards the plan left empty (possible under the hash
     /// policy on tiny datasets); they serve no traffic.
     shards: Vec<Option<Shard<'a>>>,
@@ -321,20 +730,15 @@ pub struct ClusterEngine<'a> {
     inflight_inserts: Vec<usize>,
     /// Cluster update outcomes resolved so far (prefix of `routes`).
     resolved: Vec<UpdateOutcome>,
+    /// Which failure-schedule events already fired.
+    fired: Vec<bool>,
+    /// Host wall-clock spent inside `run_to_completion*`.
+    wall: std::time::Duration,
 }
 
 impl<'a> ClusterEngine<'a> {
-    /// Stages a cluster: splits `dataset` per the plan, builds one index
-    /// and one [`Deployment`] (own flash device) per non-empty shard via
-    /// `build`, which returns the shard's index and its entry vertex in
-    /// shard-local ids (e.g. the Vamana medoid or HNSW entry point).
-    ///
-    /// Every shard serves with the same `config` (homogeneous devices)
-    /// and the same `serve` admission/search knobs.
-    ///
-    /// # Panics
-    /// Panics if the plan's base length differs from the dataset length
-    /// or the dataset is empty.
+    /// Stages an unreplicated cluster (one replica per shard, no
+    /// failures) — see [`stage_replicated`](Self::stage_replicated).
     pub fn stage(
         config: &'a NdsConfig,
         serve: ServeConfig,
@@ -342,8 +746,65 @@ impl<'a> ClusterEngine<'a> {
         dataset: &Dataset,
         build: impl Fn(&Dataset) -> (Box<dyn MutableIndex>, VectorId),
     ) -> Self {
+        Self::stage_replicated(
+            config,
+            serve,
+            plan,
+            ReplicationConfig::default(),
+            dataset,
+            build,
+        )
+    }
+
+    /// Stages a replicated cluster: splits `dataset` per the plan and,
+    /// for every non-empty shard, builds `replication.replicas` replica
+    /// devices — each its own index build and [`Deployment`] (own flash
+    /// stack) via `build`, which returns the shard's index and its entry
+    /// vertex in shard-local ids (e.g. the Vamana medoid or HNSW entry
+    /// point). `build` is deterministic per sub-dataset, so replicas of
+    /// a shard start as bit-identical copies.
+    ///
+    /// Every replica serves with the same `config` (homogeneous devices)
+    /// and the same `serve` admission/search knobs.
+    ///
+    /// # Panics
+    /// Panics if the plan's base length differs from the dataset length,
+    /// the dataset is empty, `replication.replicas` is 0, or the failure
+    /// schedule references a shard/replica outside the staged ranges (or
+    /// an [`FailureKind::EccStorm`] probability outside `[0, 1]`).
+    pub fn stage_replicated(
+        config: &'a NdsConfig,
+        serve: ServeConfig,
+        plan: ShardPlan,
+        replication: ReplicationConfig,
+        dataset: &Dataset,
+        build: impl Fn(&Dataset) -> (Box<dyn MutableIndex>, VectorId),
+    ) -> Self {
         assert!(!dataset.is_empty(), "cluster needs at least one vector");
+        assert!(
+            replication.replicas >= 1,
+            "every shard needs at least one replica"
+        );
         let num_shards = plan.num_shards();
+        for ev in replication.failures.events() {
+            assert!(
+                ev.shard < num_shards,
+                "failure event targets shard {} of {num_shards}",
+                ev.shard
+            );
+            assert!(
+                ev.replica < replication.replicas,
+                "failure event targets replica {} of {}",
+                ev.replica,
+                replication.replicas
+            );
+            if let FailureKind::EccStorm { failure_prob } = ev.kind {
+                assert!(
+                    (0.0..=1.0).contains(&failure_prob),
+                    "ECC storm probability {failure_prob} outside [0, 1]"
+                );
+            }
+        }
         let shards = plan
             .extract(dataset)
             .into_iter()
@@ -351,23 +812,40 @@ impl<'a> ClusterEngine<'a> {
                 if shard_ds.is_empty() {
                     return None;
                 }
-                let (index, entry) = build(&shard_ds);
-                let deploy = Deployment::stage(config, index, shard_ds);
+                let replicas = (0..replication.replicas)
+                    .map(|_| {
+                        let (index, entry) = build(&shard_ds);
+                        let deploy = Deployment::stage(config, index, shard_ds.clone());
+                        Replica {
+                            engine: ServeEngine::with_deployment(config, serve.clone(), deploy),
+                            entry,
+                            alive: true,
+                            killed_ns: None,
+                            routed: Vec::new(),
+                        }
+                    })
+                    .collect();
                 Some(Shard {
-                    engine: ServeEngine::with_deployment(config, serve.clone(), deploy),
-                    entry,
+                    replicas,
+                    cursor: 0,
+                    failovers: 0,
+                    hedges: 0,
                 })
             })
             .collect();
+        let fired = vec![false; replication.failures.events().len()];
         Self {
             config,
             serve,
             plan,
+            replication,
             shards,
             queries: Vec::new(),
             routes: Vec::new(),
             inflight_inserts: vec![0; num_shards],
             resolved: Vec::new(),
+            fired,
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -382,43 +860,76 @@ impl<'a> ClusterEngine<'a> {
         self.shards.len()
     }
 
-    /// A staged shard's serving engine (e.g. to inspect its deployment);
-    /// `None` for empty shards.
-    pub fn shard_engine(&self, shard: usize) -> Option<&ServeEngine<'a>> {
-        self.shards[shard].as_ref().map(|s| &s.engine)
+    /// Replicas staged per shard.
+    pub fn num_replicas(&self) -> usize {
+        self.replication.replicas
     }
 
-    /// Scatters one query session to every staged shard and returns the
-    /// cluster id.
+    /// A staged shard's serving engine — the lowest-index alive replica
+    /// (or replica 0 if the whole shard is down); `None` for empty
+    /// shards. With the default single-replica staging this is *the*
+    /// shard engine.
+    pub fn shard_engine(&self, shard: usize) -> Option<&ServeEngine<'a>> {
+        self.shards[shard].as_ref().map(|s| {
+            let r = s.replicas.iter().position(|r| r.alive).unwrap_or(0);
+            &s.replicas[r].engine
+        })
+    }
+
+    /// A specific replica's serving engine; `None` for empty shards or
+    /// out-of-range replica indices.
+    pub fn replica_engine(&self, shard: usize, replica: usize) -> Option<&ServeEngine<'a>> {
+        self.shards[shard]
+            .as_ref()
+            .and_then(|s| s.replicas.get(replica))
+            .map(|r| &r.engine)
+    }
+
+    /// Scatters one query session to every staged shard — on the replica
+    /// the policy picks — and returns the cluster id. Shards whose
+    /// replicas are all dead are skipped (the cluster outcome then never
+    /// completes, mirroring a real partial outage).
     pub fn submit(&mut self, req: ClusterQueryRequest) -> ClusterQueryId {
         let id = self.queries.len();
+        let policy = self.replication.policy;
         let sessions = self
             .shards
             .iter_mut()
             .map(|slot| {
-                slot.as_mut().map(|shard| {
-                    shard.engine.submit(QueryRequest {
-                        query: req.query.clone(),
-                        entries: vec![shard.entry],
-                        arrival_ns: req.arrival_ns,
-                        deadline_ns: req.deadline_ns,
-                    })
+                let shard = slot.as_mut()?;
+                let replica = shard.route_query(policy)?;
+                let rep = &mut shard.replicas[replica];
+                let query = rep.engine.submit(QueryRequest {
+                    query: req.query.clone(),
+                    entries: vec![rep.entry],
+                    arrival_ns: req.arrival_ns,
+                    deadline_ns: req.deadline_ns,
+                });
+                rep.routed.push(query);
+                Some(ScatterShard {
+                    primary: ShardSession { replica, query },
+                    hedge: None,
+                    hedge_spent: false,
+                    abandoned: Vec::new(),
                 })
             })
             .collect();
         self.queries.push(Scatter {
+            query: req.query,
             arrival_ns: req.arrival_ns,
+            deadline_ns: req.deadline_ns,
             sessions,
         });
         id
     }
 
-    /// Routes one update to its owning shard and returns the cluster id.
+    /// Routes one update to its owning shard — fanned out to every alive
+    /// replica so copies stay identical — and returns the cluster id.
     /// Deletes carry **global** ids and must reference a vector the plan
     /// already maps (run the cluster to completion to resolve pending
     /// inserts first); inserts are placed by the plan's policy. Updates
     /// that cannot be routed — an out-of-range delete, or a route to an
-    /// empty shard — are rejected at the cluster router.
+    /// empty or fully-dead shard — are rejected at the cluster router.
     pub fn submit_update(&mut self, req: UpdateRequest) -> ClusterUpdateId {
         let id = self.routes.len();
         let route = match &req.op {
@@ -432,28 +943,43 @@ impl<'a> ClusterEngine<'a> {
                 }
             }
             UpdateOp::Insert(v) => {
-                // Route only among staged shards: a plan can leave a
-                // shard empty (no engine), and the policy must skip it
-                // rather than reject inserts forever.
-                let live: Vec<bool> = self.shards.iter().map(Option::is_some).collect();
+                // Route only among shards that can still accept writes: a
+                // plan can leave a shard empty (no engine) and a failure
+                // schedule can kill a whole replica set; the policy must
+                // skip both rather than reject inserts forever.
+                let live: Vec<bool> = self
+                    .shards
+                    .iter()
+                    .map(|s| s.as_ref().is_some_and(Shard::has_alive))
+                    .collect();
                 self.plan
                     .route_insert(&self.inflight_inserts, &live)
                     .map(|shard| (shard, UpdateOp::Insert(v.clone()), None))
             }
         };
         let route = match route {
-            Some((shard, op, delete)) if self.shards[shard].is_some() => {
+            Some((shard, op, delete))
+                if self.shards[shard].as_ref().is_some_and(Shard::has_alive) =>
+            {
                 if delete.is_none() {
                     self.inflight_inserts[shard] += 1;
                 }
-                let engine = &mut self.shards[shard].as_mut().expect("checked").engine;
-                let local = engine.submit_update(UpdateRequest {
-                    op,
-                    arrival_ns: req.arrival_ns,
-                });
+                let replicas = &mut self.shards[shard].as_mut().expect("checked").replicas;
+                let locals = replicas
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, r)| r.alive)
+                    .map(|(ri, r)| {
+                        let local = r.engine.submit_update(UpdateRequest {
+                            op: op.clone(),
+                            arrival_ns: req.arrival_ns,
+                        });
+                        (ri, local)
+                    })
+                    .collect();
                 Route::Shard {
                     shard,
-                    local,
+                    locals,
                     delete,
                 }
             }
@@ -466,35 +992,60 @@ impl<'a> ClusterEngine<'a> {
     }
 
     /// Merged state of a cluster query: `Completed` only once every
-    /// shard session completed.
+    /// shard delivered an answer (on any replica — a completed hedge
+    /// counts for its shard).
     pub fn poll(&self, id: ClusterQueryId) -> SessionState {
         let states: Vec<SessionState> = self.queries[id]
             .sessions
             .iter()
             .enumerate()
-            .filter_map(|(s, q)| {
-                q.map(|q| {
-                    self.shards[s]
-                        .as_ref()
-                        .expect("session on staged shard")
+            .filter_map(|(s, session)| {
+                session.as_ref().map(|sc| {
+                    let shard = self.shards[s].as_ref().expect("session on staged shard");
+                    let primary = shard.replicas[sc.primary.replica]
                         .engine
-                        .poll(q)
+                        .poll(sc.primary.query);
+                    let hedge = sc
+                        .hedge
+                        .map(|h| shard.replicas[h.replica].engine.poll(h.query));
+                    if primary == SessionState::Completed || hedge == Some(SessionState::Completed)
+                    {
+                        SessionState::Completed
+                    } else {
+                        primary
+                    }
                 })
             })
             .collect();
         merge_states(&states)
     }
 
-    /// State of a cluster update (cluster-rejected updates report
+    /// State of a cluster update: `Completed` once applied on every
+    /// replica that is still alive (cluster-rejected updates report
     /// `Rejected` immediately).
     pub fn poll_update(&self, id: ClusterUpdateId) -> SessionState {
         match &self.routes[id] {
             Route::Cluster { .. } => SessionState::Rejected,
-            Route::Shard { shard, local, .. } => self.shards[*shard]
-                .as_ref()
-                .expect("routed to staged shard")
-                .engine
-                .poll_update(*local),
+            Route::Shard { shard, locals, .. } => {
+                let shard = self.shards[*shard]
+                    .as_ref()
+                    .expect("routed to staged shard");
+                let alive: Vec<SessionState> = locals
+                    .iter()
+                    .filter(|(ri, _)| shard.replicas[*ri].alive)
+                    .map(|(ri, l)| shard.replicas[*ri].engine.poll_update(*l))
+                    .collect();
+                if alive.is_empty() {
+                    // Every replica that received it died: surface the
+                    // most advanced state any copy reached.
+                    let any = locals
+                        .iter()
+                        .map(|(ri, l)| shard.replicas[*ri].engine.poll_update(*l))
+                        .find(is_terminal_ref);
+                    return any.unwrap_or(SessionState::Rejected);
+                }
+                merge_states(&alive)
+            }
         }
     }
 
@@ -507,10 +1058,11 @@ impl<'a> ClusterEngine<'a> {
     }
 
     /// [`run_to_completion`](Self::run_to_completion) stepping shards in
-    /// the given order each round. Shards share no state, so the report
-    /// is **invariant** under the order (pinned by
-    /// `tests/exec_determinism.rs`); the knob exists to prove exactly
-    /// that.
+    /// the given order each round. Shards share no state, and failure
+    /// events and hedges fire at round boundaries in fixed
+    /// schedule/submission order, so the report is **invariant** under
+    /// the order (pinned by `tests/exec_determinism.rs`); the knob
+    /// exists to prove exactly that.
     ///
     /// # Panics
     /// Panics if `order` is not a permutation of `0..num_shards()`.
@@ -522,31 +1074,214 @@ impl<'a> ClusterEngine<'a> {
         }
         assert!(seen.iter().all(|&s| s), "order must cover every shard");
 
+        let wall_start = std::time::Instant::now();
         let config = self.config;
-        let shards = &mut self.shards;
         crate::exec::with_pool(
             config.exec_threads,
             move |job: ServeJob| run_serve_job(job, config),
             |pool| loop {
-                let mut more = false;
+                // Failure events fire at the round boundary, before the
+                // round they degrade (an event at t=0 hits a device that
+                // has served nothing).
+                let mut more = self.fire_due_failures();
                 for &s in order {
-                    if let Some(shard) = shards[s].as_mut() {
-                        more |= shard.engine.step_with(Some(&mut *pool));
+                    if let Some(shard) = self.shards[s].as_mut() {
+                        for rep in shard.replicas.iter_mut().filter(|r| r.alive) {
+                            more |= rep.engine.step_with(Some(&mut *pool));
+                        }
                     }
                 }
+                more |= self.fire_hedges();
                 if !more {
                     break;
                 }
             },
         );
+        self.wall += wall_start.elapsed();
         self.report()
+    }
+
+    /// Fires every not-yet-fired failure event whose target replica's
+    /// simulated clock has reached the event time. Returns whether new
+    /// work was created (failover re-seeds).
+    fn fire_due_failures(&mut self) -> bool {
+        let mut new_work = false;
+        for ei in 0..self.fired.len() {
+            if self.fired[ei] {
+                continue;
+            }
+            let ev = self.replication.failures.events()[ei];
+            let due = match self.shards[ev.shard].as_ref() {
+                // Empty shard: nothing to degrade, retire the event.
+                None => {
+                    self.fired[ei] = true;
+                    continue;
+                }
+                Some(shard) => {
+                    let rep = &shard.replicas[ev.replica];
+                    if !rep.alive {
+                        // Already dead: the event can never bite.
+                        self.fired[ei] = true;
+                        continue;
+                    }
+                    rep.engine.now_ns() >= ev.at_ns
+                }
+            };
+            if !due {
+                continue;
+            }
+            self.fired[ei] = true;
+            new_work |= self.apply_failure(ev);
+        }
+        new_work
+    }
+
+    fn apply_failure(&mut self, ev: FailureEvent) -> bool {
+        match ev.kind {
+            FailureKind::Kill => return self.kill_replica(ev.shard, ev.replica, ev.at_ns),
+            FailureKind::EccStorm { failure_prob } => {
+                let rep = self.replica_mut(ev.shard, ev.replica);
+                rep.engine.inject_ecc_failure_prob(failure_prob);
+            }
+            FailureKind::WearOut { cycles } => {
+                let rep = self.replica_mut(ev.shard, ev.replica);
+                rep.engine.age_wear(cycles);
+                // Couple the aged cells back into the ECC engine: scale
+                // the failure probability by the raw-BER growth factor
+                // (floor 1e-3 so a zero-fault baseline still degrades).
+                let wear = rep.engine.deployment().wear();
+                let factor = wear.mean_raw_ber() / wear.fresh_ber;
+                let prob = (rep.engine.ecc_failure_prob().max(1e-3) * factor).min(1.0);
+                rep.engine.inject_ecc_failure_prob(prob);
+            }
+        }
+        false
+    }
+
+    fn replica_mut(&mut self, shard: usize, replica: usize) -> &mut Replica<'a> {
+        &mut self.shards[shard]
+            .as_mut()
+            .expect("failure event on staged shard")
+            .replicas[replica]
+    }
+
+    /// Kills `replica` of `shard` at `at_ns`: the device stops stepping,
+    /// and every unfinished session routed to it is re-seeded on the
+    /// next alive replica (arriving at the kill time — the failover
+    /// detection latency is the round granularity). With no survivor the
+    /// sessions stay frozen on the dead device.
+    fn kill_replica(&mut self, s: usize, r: usize, at_ns: Nanos) -> bool {
+        let shard = self.shards[s].as_mut().expect("kill on staged shard");
+        shard.replicas[r].alive = false;
+        shard.replicas[r].killed_ns = Some(at_ns);
+        let survivor = shard.next_alive_after(r);
+        let mut new_work = false;
+        for scatter in &mut self.queries {
+            let Some(sc) = scatter.sessions[s].as_mut() else {
+                continue;
+            };
+            if let Some(h) = sc.hedge {
+                if h.replica == r && !is_terminal(shard.replicas[r].engine.poll(h.query)) {
+                    // The backup died mid-race: drop it and re-arm so a
+                    // fresh hedge may fire on a survivor later.
+                    sc.abandoned.push(h);
+                    sc.hedge = None;
+                    sc.hedge_spent = false;
+                }
+            }
+            if sc.primary.replica == r
+                && !is_terminal(shard.replicas[r].engine.poll(sc.primary.query))
+            {
+                let Some(surv) = survivor else { continue };
+                let rep = &mut shard.replicas[surv];
+                let query = rep.engine.submit(QueryRequest {
+                    query: scatter.query.clone(),
+                    entries: vec![rep.entry],
+                    // A session that had not even arrived yet keeps its
+                    // original arrival time on the survivor.
+                    arrival_ns: at_ns.max(scatter.arrival_ns),
+                    deadline_ns: scatter.deadline_ns,
+                });
+                rep.routed.push(query);
+                let old = std::mem::replace(
+                    &mut sc.primary,
+                    ShardSession {
+                        replica: surv,
+                        query,
+                    },
+                );
+                sc.abandoned.push(old);
+                shard.failovers += 1;
+                new_work = true;
+            }
+        }
+        new_work
+    }
+
+    /// Fires due hedges (policy [`ReplicaPolicy::Hedged`]): for every
+    /// scattered session whose primary has been outstanding for the
+    /// hedge delay, submit an identical backup on the next alive
+    /// replica. Runs after the round's stepping, in submission order, so
+    /// the decision depends only on simulated clocks.
+    fn fire_hedges(&mut self) -> bool {
+        let ReplicaPolicy::Hedged { delay_ns } = self.replication.policy else {
+            return false;
+        };
+        let mut new_work = false;
+        for scatter in &mut self.queries {
+            let fire_at = scatter.arrival_ns.saturating_add(delay_ns);
+            for (s, session) in scatter.sessions.iter_mut().enumerate() {
+                let Some(sc) = session else { continue };
+                if sc.hedge.is_some() || sc.hedge_spent {
+                    continue;
+                }
+                let shard = self.shards[s].as_mut().expect("session on staged shard");
+                let primary = &shard.replicas[sc.primary.replica];
+                if !primary.alive || primary.engine.now_ns() < fire_at {
+                    continue;
+                }
+                if is_terminal(primary.engine.poll(sc.primary.query)) {
+                    // Finished inside the delay: no hedge ever needed.
+                    sc.hedge_spent = true;
+                    continue;
+                }
+                let Some(backup) = shard.next_alive_after(sc.primary.replica) else {
+                    sc.hedge_spent = true;
+                    continue;
+                };
+                let rep = &mut shard.replicas[backup];
+                let query = rep.engine.submit(QueryRequest {
+                    query: scatter.query.clone(),
+                    entries: vec![rep.entry],
+                    arrival_ns: fire_at,
+                    deadline_ns: scatter.deadline_ns,
+                });
+                rep.routed.push(query);
+                sc.hedge = Some(ShardSession {
+                    replica: backup,
+                    query,
+                });
+                sc.hedge_spent = true;
+                shard.hedges += 1;
+                new_work = true;
+            }
+        }
+        new_work
     }
 
     /// Resolves terminal update sessions (in cluster submission order)
     /// into cluster outcomes, extending the plan with the global id of
     /// every completed insert. Stops at the first still-running update
     /// so global ids are always assigned in submission order.
-    fn resolve_updates(&mut self, reports: &[Option<ServeReport>]) {
+    ///
+    /// The *reference replica* — the lowest-index replica still alive
+    /// among those the update fanned out to — supplies the outcome; an
+    /// update resolves once every alive copy is terminal (replicas are
+    /// deterministic twins, so copies agree on state and assigned slot).
+    /// If every copy's replica died, the first terminal copy resolves
+    /// it, and with none the update is reported rejected (lost with the
+    /// devices).
+    fn resolve_updates(&mut self, reports: &[Option<Vec<ServeReport>>]) {
         while self.resolved.len() < self.routes.len() {
             let id = self.resolved.len();
             let outcome = match &self.routes[id] {
@@ -562,15 +1297,62 @@ impl<'a> ClusterEngine<'a> {
                 },
                 Route::Shard {
                     shard,
-                    local,
+                    locals,
                     delete,
                 } => {
-                    let report = reports[*shard].as_ref().expect("routed to staged shard");
-                    let o = &report.update_outcomes[*local];
-                    match o.state {
-                        SessionState::Completed | SessionState::Rejected => {}
-                        _ => break, // still pending on its shard
-                    }
+                    let shard_state = self.shards[*shard]
+                        .as_ref()
+                        .expect("routed to staged shard");
+                    let reps = reports[*shard].as_ref().expect("routed to staged shard");
+                    let outcome_of = |ri: usize, l: UpdateId| &reps[ri].update_outcomes[l];
+                    let alive: Vec<(usize, UpdateId)> = locals
+                        .iter()
+                        .copied()
+                        .filter(|&(ri, _)| shard_state.replicas[ri].alive)
+                        .collect();
+                    let picked = if alive.is_empty() {
+                        // Lost with its devices: any copy that reached a
+                        // terminal state before the kill still counts.
+                        locals
+                            .iter()
+                            .copied()
+                            .find(|&(ri, l)| is_terminal(outcome_of(ri, l).state))
+                    } else {
+                        if !alive
+                            .iter()
+                            .all(|&(ri, l)| is_terminal(outcome_of(ri, l).state))
+                        {
+                            break; // still pending on an alive replica
+                        }
+                        debug_assert!(
+                            alive.iter().all(|&(ri, l)| {
+                                let o = outcome_of(ri, l);
+                                let first = outcome_of(alive[0].0, alive[0].1);
+                                o.state == first.state && o.assigned == first.assigned
+                            }),
+                            "replica copies of update {id} diverged"
+                        );
+                        Some(alive[0])
+                    };
+                    let Some((ri, l)) = picked else {
+                        // Every copy died non-terminal.
+                        let o = outcome_of(locals[0].0, locals[0].1);
+                        if delete.is_none() {
+                            self.inflight_inserts[*shard] -= 1;
+                        }
+                        self.resolved.push(UpdateOutcome {
+                            id,
+                            state: SessionState::Rejected,
+                            arrival_ns: o.arrival_ns,
+                            admitted_ns: o.arrival_ns,
+                            completed_ns: o.arrival_ns,
+                            assigned: None,
+                            repaired: 0,
+                            pages_programmed: 0,
+                        });
+                        continue;
+                    };
+                    let o = outcome_of(ri, l);
                     let assigned = match (o.state, delete) {
                         (SessionState::Completed, Some(g)) => Some(*g),
                         (SessionState::Completed, None) => {
@@ -604,9 +1386,10 @@ impl<'a> ClusterEngine<'a> {
         }
     }
 
-    /// Gathers the cluster report: resolves updates, translates every
-    /// per-shard result list into global ids, and stable-merges each
-    /// query's lists by `(distance, global id)`.
+    /// Gathers the cluster report: resolves updates, picks each shard's
+    /// winning session copy (primary vs hedge — earliest completion),
+    /// translates every result list into global ids, and stable-merges
+    /// each query's lists by `(distance, global id)`.
     ///
     /// Meaningful once [`run_to_completion`](Self::run_to_completion)
     /// has drained every session (a mid-stream snapshot only covers the
@@ -616,14 +1399,29 @@ impl<'a> ClusterEngine<'a> {
     /// Panics if a result references an insert that is not yet resolved
     /// (only possible mid-stream).
     pub fn report(&mut self) -> ClusterReport {
-        let reports: Vec<Option<ServeReport>> = self
+        let reports: Vec<Option<Vec<ServeReport>>> = self
             .shards
             .iter()
-            .map(|s| s.as_ref().map(|s| s.engine.report()))
+            .map(|slot| {
+                slot.as_ref().map(|shard| {
+                    shard
+                        .replicas
+                        .iter()
+                        .map(|r| {
+                            let mut rep = r.engine.report();
+                            // Shared pool: per-device wall-clock is
+                            // fiction (see `ClusterReport::wall_s`).
+                            rep.wall_s = 0.0;
+                            rep
+                        })
+                        .collect()
+                })
+            })
             .collect();
         self.resolve_updates(&reports);
 
         let k = self.serve.k;
+        let mut hedge_wins = vec![0usize; self.shards.len()];
         let outcomes: Vec<ClusterQueryOutcome> = self
             .queries
             .iter()
@@ -631,19 +1429,29 @@ impl<'a> ClusterEngine<'a> {
             .map(|(id, scatter)| {
                 let mut states = Vec::new();
                 let mut merged: Vec<Neighbor> = Vec::new();
-                let mut arrival = Nanos::MAX;
                 let mut completed = 0;
                 let mut hops = 0;
                 for (s, session) in scatter.sessions.iter().enumerate() {
-                    let Some(q) = session else { continue };
-                    let report = reports[s].as_ref().expect("session on staged shard");
-                    let o = &report.outcomes[*q];
-                    states.push(o.state);
-                    arrival = arrival.min(o.arrival_ns);
-                    completed = completed.max(o.completed_ns);
-                    hops += o.hops;
+                    let Some(sc) = session else { continue };
+                    let reps = reports[s].as_ref().expect("session on staged shard");
+                    let outcome_of = |ss: &ShardSession| &reps[ss.replica].outcomes[ss.query];
+                    let primary = outcome_of(&sc.primary);
+                    let hedge = sc.hedge.as_ref().map(&outcome_of);
+                    let (winner, hedge_won) = pick_winner(primary, hedge);
+                    if hedge_won {
+                        hedge_wins[s] += 1;
+                    }
+                    states.push(winner.state);
+                    completed = completed.max(winner.completed_ns);
+                    hops += primary.hops
+                        + hedge.map_or(0, |o| o.hops)
+                        + sc.abandoned
+                            .iter()
+                            .map(|a| outcome_of(a).hops)
+                            .sum::<usize>();
                     merged.extend(
-                        o.results
+                        winner
+                            .results
                             .iter()
                             .map(|n| Neighbor::new(n.distance, self.plan.global_of(s, n.id))),
                     );
@@ -655,28 +1463,11 @@ impl<'a> ClusterEngine<'a> {
                 ClusterQueryOutcome {
                     id,
                     state: merge_states(&states),
-                    arrival_ns: if arrival == Nanos::MAX {
-                        scatter.arrival_ns
-                    } else {
-                        arrival
-                    },
+                    arrival_ns: scatter.arrival_ns,
                     completed_ns: completed,
                     hops,
                     results: merged,
                 }
-            })
-            .collect();
-
-        let shards: Vec<ShardBreakdown> = reports
-            .into_iter()
-            .enumerate()
-            .filter_map(|(s, report)| {
-                report.map(|report| ShardBreakdown {
-                    shard: s,
-                    vertices: self.plan.shard_len(s),
-                    hops: report.outcomes.iter().map(|o| o.hops).sum(),
-                    report,
-                })
             })
             .collect();
 
@@ -691,12 +1482,89 @@ impl<'a> ClusterEngine<'a> {
             .chain(self.resolved.iter().map(|o| o.completed_ns))
             .max()
             .unwrap_or(0);
+
+        let shards: Vec<ShardBreakdown> = reports
+            .into_iter()
+            .enumerate()
+            .filter_map(|(s, reps)| {
+                let reps = reps?;
+                let shard = self.shards[s].as_ref().expect("breakdown of staged shard");
+                let replicas: Vec<ReplicaBreakdown> = reps
+                    .into_iter()
+                    .enumerate()
+                    .map(|(ri, report)| ReplicaBreakdown {
+                        replica: ri,
+                        alive: shard.replicas[ri].alive,
+                        killed_ns: shard.replicas[ri].killed_ns,
+                        hops: report.outcomes.iter().map(|o| o.hops).sum(),
+                        report,
+                    })
+                    .collect();
+                let availability = if last_completion == 0 {
+                    1.0
+                } else {
+                    replicas
+                        .iter()
+                        .map(|r| match r.killed_ns {
+                            None => 1.0,
+                            Some(t) => t.min(last_completion) as f64 / last_completion as f64,
+                        })
+                        .sum::<f64>()
+                        / replicas.len() as f64
+                };
+                Some(ShardBreakdown {
+                    shard: s,
+                    vertices: self.plan.shard_len(s),
+                    hops: replicas.iter().map(|r| r.hops).sum(),
+                    failovers: shard.failovers,
+                    hedges: shard.hedges,
+                    hedge_wins: hedge_wins[s],
+                    availability,
+                    replicas,
+                })
+            })
+            .collect();
+
         ClusterReport {
             outcomes,
             update_outcomes: self.resolved.clone(),
             shards,
             makespan_ns: last_completion.saturating_sub(first_arrival.unwrap_or(0)),
+            wall_s: self.wall.as_secs_f64(),
         }
+    }
+}
+
+/// Whether a session state is final.
+fn is_terminal(state: SessionState) -> bool {
+    matches!(
+        state,
+        SessionState::Completed | SessionState::Rejected | SessionState::Expired
+    )
+}
+
+fn is_terminal_ref(state: &SessionState) -> bool {
+    is_terminal(*state)
+}
+
+/// Picks the copy of a shard session that answers for its shard: a
+/// completed hedge wins iff the primary did not complete or completed
+/// later (ties go to the primary). Returns the winner and whether the
+/// hedge won.
+fn pick_winner<'o>(
+    primary: &'o QueryOutcome,
+    hedge: Option<&'o QueryOutcome>,
+) -> (&'o QueryOutcome, bool) {
+    let Some(hedge) = hedge else {
+        return (primary, false);
+    };
+    match (
+        primary.state == SessionState::Completed,
+        hedge.state == SessionState::Completed,
+    ) {
+        (true, true) if hedge.completed_ns < primary.completed_ns => (hedge, true),
+        (false, true) => (hedge, true),
+        _ => (primary, false),
     }
 }
 
@@ -769,6 +1637,16 @@ mod tests {
         assert!(report.load_imbalance() >= 1.0);
         assert!(report.qps() > 0.0);
         assert!(report.latency().p50_ns > 0);
+        // No replication: full availability, no failovers or hedges.
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.failovers(), 0);
+        assert_eq!(report.hedges(), 0);
+        assert!(report.wall_s > 0.0, "cluster wall clock must be measured");
+        assert!(report.sim_ns_per_wall_s() > 0.0);
+        for s in &report.shards {
+            assert_eq!(s.replicas.len(), 1);
+            assert_eq!(s.replicas[0].report.wall_s, 0.0, "per-replica wall zeroed");
+        }
     }
 
     #[test]
@@ -929,5 +1807,239 @@ mod tests {
         let report = cluster.run_to_completion();
         assert_eq!(report.outcomes[id].state, SessionState::Expired);
         assert_eq!(report.expired(), 1);
+    }
+
+    #[test]
+    fn replicated_cluster_matches_single_replica_results() {
+        // Replicas are deterministic twins, so a no-failure replicated
+        // cluster returns element-identical results under every policy —
+        // only timing shifts with the load split.
+        let (config, base, queries) = fixture(300, 8);
+        let reference = {
+            let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 0);
+            let mut cluster =
+                ClusterEngine::stage(&config, ServeConfig::default(), plan, &base, vamana_builder);
+            for (i, (_, q)) in queries.iter().enumerate() {
+                cluster.submit(ClusterQueryRequest::at(i as Nanos * 2_000, q.to_vec()));
+            }
+            cluster.run_to_completion()
+        };
+        for policy in [
+            ReplicaPolicy::RoundRobin,
+            ReplicaPolicy::LeastLoaded,
+            ReplicaPolicy::Hedged { delay_ns: 50_000 },
+        ] {
+            let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 0);
+            let replication = ReplicationConfig::replicated(2).with_policy(policy);
+            let mut cluster = ClusterEngine::stage_replicated(
+                &config,
+                ServeConfig::default(),
+                plan,
+                replication,
+                &base,
+                vamana_builder,
+            );
+            for (i, (_, q)) in queries.iter().enumerate() {
+                cluster.submit(ClusterQueryRequest::at(i as Nanos * 2_000, q.to_vec()));
+            }
+            let report = cluster.run_to_completion();
+            assert_eq!(report.completed(), 8, "{policy:?}");
+            for (r, f) in report.outcomes.iter().zip(&reference.outcomes) {
+                assert_eq!(r.results, f.results, "{policy:?} diverged from R=1");
+            }
+            assert_eq!(report.availability(), 1.0);
+            assert_eq!(report.failovers(), 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_sessions_across_replicas() {
+        let (config, base, queries) = fixture(250, 8);
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            ServeConfig::default(),
+            plan,
+            ReplicationConfig::replicated(2),
+            &base,
+            vamana_builder,
+        );
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 2_000, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 8);
+        let shard = &report.shards[0];
+        assert_eq!(shard.replicas.len(), 2);
+        for r in &shard.replicas {
+            assert_eq!(
+                r.report.outcomes.len(),
+                4,
+                "round robin must split 8 evenly"
+            );
+            assert!(r.hops > 0);
+        }
+    }
+
+    #[test]
+    fn least_loaded_balances_outstanding_sessions() {
+        let (config, base, queries) = fixture(250, 9);
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let replication = ReplicationConfig::replicated(3).with_policy(ReplicaPolicy::LeastLoaded);
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            ServeConfig::default(),
+            plan,
+            replication,
+            &base,
+            vamana_builder,
+        );
+        for (_, q) in queries.iter() {
+            cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 9);
+        for r in &report.shards[0].replicas {
+            assert_eq!(
+                r.report.outcomes.len(),
+                3,
+                "outstanding counts must balance"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_fails_over_inflight_sessions_to_survivor() {
+        let (config, base, queries) = fixture(300, 10);
+        let make = |base: &Dataset| {
+            let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 0);
+            let replication = ReplicationConfig::replicated(2)
+                .with_failures(FailureSchedule::new().kill(1, 0, 0));
+            ClusterEngine::stage_replicated(
+                &config,
+                ServeConfig::default(),
+                plan,
+                replication,
+                base,
+                vamana_builder,
+            )
+        };
+        let run = |mut cluster: ClusterEngine| {
+            for (i, (_, q)) in queries.iter().enumerate() {
+                cluster.submit(ClusterQueryRequest::at(i as Nanos * 1_000, q.to_vec()));
+            }
+            cluster.run_to_completion()
+        };
+        let report = run(make(&base));
+        // The kill fires at the first round boundary: every session the
+        // dead replica had was re-seeded and the whole stream completed.
+        assert_eq!(report.completed(), 10, "failover lost sessions");
+        assert!(report.failovers() > 0, "kill must trigger failovers");
+        let s0 = &report.shards[0];
+        assert!(!s0.replicas[0].alive);
+        assert_eq!(s0.replicas[0].killed_ns, Some(1));
+        assert!(s0.replicas[1].alive);
+        assert!(s0.availability < 1.0 && s0.availability > 0.0);
+        assert_eq!(report.shards[1].availability, 1.0);
+        assert!(report.availability() > 0.0 && report.availability() <= 1.0);
+        // Bit-identical reruns, failure schedule included.
+        assert_eq!(
+            report,
+            run(make(&base)),
+            "failover run must be deterministic"
+        );
+    }
+
+    #[test]
+    fn whole_shard_outage_freezes_its_sessions() {
+        let (config, base, queries) = fixture(300, 4);
+        let plan = ShardPlan::partition(base.len(), 2, ShardPolicy::BalancedSize, 0);
+        let replication = ReplicationConfig::replicated(2)
+            .with_failures(FailureSchedule::new().kill(1, 0, 0).kill(1, 0, 1));
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            ServeConfig::default(),
+            plan,
+            replication,
+            &base,
+            vamana_builder,
+        );
+        for (_, q) in queries.iter() {
+            cluster.submit(ClusterQueryRequest::at(0, q.to_vec()));
+        }
+        // Must terminate (dead devices stop stepping) without completing
+        // any cluster query: shard 0 can never answer.
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 0);
+        for o in &report.outcomes {
+            assert!(!is_terminal(o.state), "outage must leave queries pending");
+        }
+        assert!(report.shards[0].availability < 1.0);
+        // New submissions skip the dead shard entirely (and keep the
+        // cluster outcome non-terminal rather than panicking).
+        let id = cluster.submit(ClusterQueryRequest::at(0, queries.vector(0).to_vec()));
+        assert!(!is_terminal(cluster.poll(id)));
+    }
+
+    #[test]
+    fn hedged_routing_duplicates_slow_sessions_and_wins() {
+        let (config, base, queries) = fixture(300, 10);
+        // Replica 0 of the only shard is hit by an ECC storm before it
+        // serves anything; hedges fired on the healthy replica 1 should
+        // win their races.
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let replication = ReplicationConfig::replicated(2)
+            .with_policy(ReplicaPolicy::Hedged { delay_ns: 100_000 })
+            .with_failures(FailureSchedule::new().ecc_storm(0, 0, 0, 0.95));
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            ServeConfig::default(),
+            plan,
+            replication,
+            &base,
+            vamana_builder,
+        );
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 1_000, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 10);
+        assert!(report.hedges() > 0, "storm must trigger hedges");
+        assert!(report.hedge_wins() > 0, "healthy replica must win races");
+        assert!(report.hedge_win_rate() > 0.0 && report.hedge_win_rate() <= 1.0);
+        assert_eq!(report.shards[0].hedge_wins, report.hedge_wins());
+        // The storm replica actually paid soft-decode penalties.
+        let stormed = &report.shards[0].replicas[0].report;
+        assert!(stormed.stats.ecc_soft_fallbacks > 0);
+    }
+
+    #[test]
+    fn wear_out_event_degrades_the_device() {
+        let (config, base, queries) = fixture(250, 6);
+        let plan = ShardPlan::partition(base.len(), 1, ShardPolicy::BalancedSize, 0);
+        let replication = ReplicationConfig::replicated(2)
+            .with_failures(FailureSchedule::new().wear_out(0, 0, 0, 20_000));
+        let mut cluster = ClusterEngine::stage_replicated(
+            &config,
+            ServeConfig::default(),
+            plan,
+            replication,
+            &base,
+            vamana_builder,
+        );
+        for (i, (_, q)) in queries.iter().enumerate() {
+            cluster.submit(ClusterQueryRequest::at(i as Nanos * 1_000, q.to_vec()));
+        }
+        let report = cluster.run_to_completion();
+        assert_eq!(report.completed(), 6);
+        let worn = cluster.replica_engine(0, 0).unwrap();
+        let fresh = cluster.replica_engine(0, 1).unwrap();
+        assert!(
+            worn.ecc_failure_prob() > fresh.ecc_failure_prob(),
+            "wear-out must raise the failure probability ({} vs {})",
+            worn.ecc_failure_prob(),
+            fresh.ecc_failure_prob()
+        );
+        assert!(worn.deployment().wear().max_wear_ratio() >= 2.0);
     }
 }

@@ -281,6 +281,13 @@ impl Deployment {
         &self.wear
     }
 
+    /// Bulk-ages every block of the wear model by `cycles` P/E cycles —
+    /// the wear-out degradation trigger a failure schedule fires on this
+    /// deployment's device (see [`WearModel::age_uniform`]).
+    pub fn age_wear(&mut self, cycles: u32) {
+        self.wear.age_uniform(cycles);
+    }
+
     /// Whether a construction-order vertex has been tombstoned.
     pub fn is_deleted(&self, id: VectorId) -> bool {
         self.index

@@ -82,7 +82,10 @@ pub mod speculative;
 pub mod stream;
 pub mod vgen;
 
-pub use cluster::{ClusterEngine, ClusterQueryRequest, ClusterReport, ShardBreakdown};
+pub use cluster::{
+    ClusterEngine, ClusterQueryRequest, ClusterReport, FailureEvent, FailureKind, FailureSchedule,
+    ReplicaBreakdown, ReplicaPolicy, ReplicationConfig, ShardBreakdown,
+};
 pub use config::{NdsConfig, SchedulingConfig};
 pub use deploy::{CompactionReport, Deployment, InsertError, UpdateTotals};
 pub use engine::NdsEngine;

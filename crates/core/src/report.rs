@@ -25,10 +25,17 @@ pub struct LatencySummary {
     pub max_ns: Nanos,
     /// Host wall-clock seconds the simulator spent producing the run the
     /// samples came from (0 when not measured; filled by
-    /// [`crate::serve::ServeReport::latency`]).
+    /// [`crate::serve::ServeReport::latency`] and
+    /// [`crate::cluster::ClusterReport::latency`]). Wall-clock time is a
+    /// host measurement, not a simulation result: it varies run to run,
+    /// so every report type excludes it from equality, and in a cluster
+    /// it is meaningful only at the *cluster* level — all replica
+    /// engines share one host worker pool, so per-replica wall time is
+    /// not attributable and per-replica reports carry 0 here.
     pub wall_s: f64,
     /// Wall-clock simulation throughput: simulated nanoseconds advanced
-    /// per host second (0 when not measured).
+    /// per host second (0 when not measured; same host-measurement
+    /// caveats as `wall_s`).
     pub sim_ns_per_wall_s: f64,
 }
 

@@ -285,8 +285,15 @@ pub struct QueryRequest {
     pub entries: Vec<VectorId>,
     /// Simulated arrival time.
     pub arrival_ns: Nanos,
-    /// Optional absolute deadline; a session past it is terminated at the
-    /// next round boundary with its best-so-far partial results.
+    /// Optional absolute deadline. The pinned boundary semantic: a query
+    /// is `Completed` **iff its results are back by the deadline**
+    /// (`completed_ns <= deadline_ns`); otherwise it is `Expired` with
+    /// best-so-far results. The scheduler cuts a session off at the first
+    /// round boundary where the clock has *reached* the deadline
+    /// (`now_ns >= deadline_ns` — a deadline exactly equal to `now` does
+    /// not buy an extra round), and a session that finishes its search in
+    /// the very round the deadline passes is still reported `Expired`,
+    /// because its completion necessarily lands after the deadline.
     pub deadline_ns: Option<Nanos>,
 }
 
@@ -834,6 +841,30 @@ impl<'a> ServeEngine<'a> {
         self.now_ns
     }
 
+    /// The ECC hard-decision failure probability currently in force.
+    pub fn ecc_failure_prob(&self) -> f64 {
+        self.ecc.config().hard_decision_failure_prob
+    }
+
+    /// Degradation trigger: changes the device's injected ECC
+    /// hard-decision failure probability mid-run (an *ECC storm* — every
+    /// failed hard decode falls back to a ~10 µs soft decode on the FTL,
+    /// slowing each subsequent round). Deterministic at any
+    /// `exec_threads`: fault injection stays counter-indexed per plane,
+    /// so the decisions drawn after the ramp depend only on the decode
+    /// counters, never on worker scheduling.
+    pub fn inject_ecc_failure_prob(&mut self, p: f64) {
+        self.ecc.set_hard_decision_failure_prob(p);
+    }
+
+    /// Degradation trigger: bulk-ages every block of the deployment's
+    /// wear model by `cycles` P/E cycles (a *wear-out* event). The caller
+    /// maps the aged device's raw BER to an ECC failure probability via
+    /// [`inject_ecc_failure_prob`](Self::inject_ecc_failure_prob).
+    pub fn age_wear(&mut self, cycles: u32) {
+        self.deploy.age_wear(cycles);
+    }
+
     /// Moves sessions whose arrival time has passed into the admission
     /// queues (queries and updates alike), rejecting them if full.
     fn process_arrivals(&mut self) {
@@ -869,12 +900,14 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    /// Terminates queued and in-flight sessions whose deadline has passed,
-    /// returning their best-so-far top-k.
+    /// Terminates queued and in-flight sessions whose deadline the clock
+    /// has reached (`now >= deadline` — see [`QueryRequest::deadline_ns`]
+    /// for the pinned boundary semantic), returning their best-so-far
+    /// top-k.
     fn expire_due(&mut self) {
         let now = self.now_ns;
         let k = self.serve.k;
-        let due = |s: &Session| s.deadline_ns.is_some_and(|d| d < now);
+        let due = |s: &Session| s.deadline_ns.is_some_and(|d| d <= now);
         let expired_inflight: Vec<QueryId> = self
             .inflight
             .iter()
@@ -894,7 +927,7 @@ impl<'a> ServeEngine<'a> {
         let sessions = &mut self.sessions;
         let mut newly_expired = Vec::new();
         self.queue.retain(|&id| {
-            if sessions[id].deadline_ns.is_some_and(|d| d < now) {
+            if sessions[id].deadline_ns.is_some_and(|d| d <= now) {
                 newly_expired.push(id);
                 false
             } else {
@@ -1071,16 +1104,23 @@ impl<'a> ServeEngine<'a> {
         }
         self.now_ns += round_exec.max(t_in);
 
-        // ---- Complete sessions that terminated this round. ----
+        // ---- Complete sessions that terminated this round. A session
+        // whose results land past its deadline — it finished its search in
+        // the very round the deadline passed — is `Expired`, not
+        // `Completed`: the deadline check at the round *start* cannot see
+        // this round's clock advance, so completion re-checks it. ----
         for id in finished {
             self.inflight.retain(|&x| x != id);
             let tail = self.completion_tail_ns();
             let k = self.serve.k;
+            let done_ns = self.now_ns + tail;
+            let state = match self.sessions[id].deadline_ns {
+                Some(d) if done_ns > d => SessionState::Expired,
+                _ => SessionState::Completed,
+            };
             let deploy = &self.deploy;
-            self.sessions[id].finish(SessionState::Completed, self.now_ns + tail, k, &|v| {
-                deploy.is_deleted(v)
-            });
-            self.last_completion_ns = self.last_completion_ns.max(self.now_ns + tail);
+            self.sessions[id].finish(state, done_ns, k, &|v| deploy.is_deleted(v));
+            self.last_completion_ns = self.last_completion_ns.max(done_ns);
         }
 
         // ---- Apply admitted updates, in admission order, on the

@@ -183,6 +183,16 @@ impl EccEngine {
         &self.config
     }
 
+    /// Changes the injected hard-decision failure probability mid-run
+    /// (clamped to `[0, 1]`) — the degradation trigger an ECC storm or a
+    /// wear-out event ramps. Determinism is preserved: fault injection is
+    /// counter-indexed, so whether the `n`-th decode of a plane fails is
+    /// still a pure function of `(seed, plane, n)` and the probability in
+    /// force when that decode happens, independent of thread scheduling.
+    pub fn set_hard_decision_failure_prob(&mut self, p: f64) {
+        self.config.hard_decision_failure_prob = p.clamp(0.0, 1.0);
+    }
+
     /// Raw BER of a plane.
     ///
     /// # Panics
@@ -410,5 +420,55 @@ mod tests {
     #[test]
     fn sweep_matches_paper_points() {
         assert_eq!(EccConfig::failure_sweep(), [0.30, 0.10, 0.05, 0.01]);
+    }
+
+    #[test]
+    fn mid_run_failure_ramp_is_deterministic_and_bites() {
+        // Raising the failure probability mid-run (an ECC storm) must (a)
+        // replay bit-identically — the counter-indexed streams don't care
+        // when the probability changed — and (b) actually raise the
+        // observed failure ratio from that point on.
+        let geom = FlashGeometry::tiny();
+        let run = || {
+            let mut e = EccEngine::new(
+                &geom,
+                EccConfig {
+                    hard_decision_failure_prob: 0.01,
+                    ..EccConfig::default()
+                },
+            );
+            let mut latencies = Vec::new();
+            let mut fail_before = 0;
+            for phase in 0..2 {
+                if phase == 1 {
+                    fail_before = e.hard_failure_count();
+                    e.set_hard_decision_failure_prob(0.9);
+                }
+                let mut pass = e.begin_lun_pass();
+                for i in 0..2_000u32 {
+                    latencies.push(pass.decode_page(i % geom.total_planes()));
+                }
+                e.apply(&pass.into_delta());
+            }
+            (latencies, fail_before, e.hard_failure_count())
+        };
+        let (lat_a, before, after) = run();
+        let (lat_b, ..) = run();
+        assert_eq!(lat_a, lat_b, "storm replay diverged");
+        let storm_failures = after - before;
+        assert!(
+            storm_failures > 10 * before.max(1),
+            "storm did not bite: {before} failures before, {storm_failures} during"
+        );
+    }
+
+    #[test]
+    fn failure_prob_setter_clamps() {
+        let geom = FlashGeometry::tiny();
+        let mut e = EccEngine::new(&geom, EccConfig::default());
+        e.set_hard_decision_failure_prob(7.0);
+        assert_eq!(e.config().hard_decision_failure_prob, 1.0);
+        e.set_hard_decision_failure_prob(-3.0);
+        assert_eq!(e.config().hard_decision_failure_prob, 0.0);
     }
 }

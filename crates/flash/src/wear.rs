@@ -48,6 +48,19 @@ impl WearModel {
         self.pe[plane as usize][block as usize] += 1;
     }
 
+    /// Adds `cycles` program/erase cycles to **every** block at once — the
+    /// bulk wear-out trigger a failure schedule fires to age a whole
+    /// device mid-run (e.g. to model a drive reaching end-of-life during a
+    /// serving window). Saturates instead of wrapping, so repeated events
+    /// cannot roll a block back to fresh.
+    pub fn age_uniform(&mut self, cycles: u32) {
+        for plane in &mut self.pe {
+            for block in plane {
+                *block = block.saturating_add(cycles);
+            }
+        }
+    }
+
     /// P/E cycles a block has seen.
     pub fn pe_cycles(&self, plane: PlaneId, block: u32) -> u32 {
         self.pe[plane as usize][block as usize]
@@ -166,6 +179,25 @@ mod tests {
         assert_eq!(w.pe_cycles(1, 1), 0);
         assert!((w.block_raw_ber(0, 0) - w.fresh_ber).abs() < 1e-15);
         assert!((w.wear_ratio(1, 2) - 200.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_aging_raises_every_block_and_saturates() {
+        let geom = FlashGeometry::tiny();
+        let mut w = WearModel::new(geom);
+        w.note_program(1, 2); // pre-existing skew survives the bulk event
+        w.age_uniform(5_000);
+        for plane in 0..geom.total_planes() {
+            for block in 0..geom.blocks_per_plane {
+                assert!(w.pe_cycles(plane, block) >= 5_000);
+            }
+        }
+        assert_eq!(w.pe_cycles(1, 2), 5_001);
+        let mid_life = w.mean_raw_ber();
+        assert!(mid_life > 5.0 * w.fresh_ber, "aging did not raise BER");
+        w.age_uniform(u32::MAX);
+        assert_eq!(w.pe_cycles(0, 0), u32::MAX, "aging must saturate");
+        assert!(w.mean_raw_ber() >= mid_life);
     }
 
     #[test]

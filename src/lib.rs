@@ -53,6 +53,18 @@
 //! shard. See the "Sharded serving" section of `docs/ARCHITECTURE.md`
 //! and the `cluster_sweep` bench binary.
 //!
+//! ## Replication & failover
+//!
+//! A `core::cluster::ReplicationConfig` turns each shard into a replica
+//! set of deterministic device twins: queries route per shard by
+//! round-robin, least-loaded or hedged policy (backup session after a
+//! delay, earlier completion wins), a `FailureSchedule` kills, storms or
+//! wears out replicas mid-run from their *simulated* clocks, in-flight
+//! sessions fail over to the surviving twin, and updates fan out to all
+//! alive replicas. Degraded runs replay bit-identically. See the
+//! "Replication & failover" section of `docs/ARCHITECTURE.md` and the
+//! `replica_sweep` bench binary.
+//!
 //! See `examples/` for full scenarios and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 

@@ -18,7 +18,9 @@ use proptest::test_runner::{Config, TestRng};
 
 use ndsearch::anns::index::MutableIndex;
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
-use ndsearch::core::cluster::{ClusterEngine, ClusterQueryRequest};
+use ndsearch::core::cluster::{
+    ClusterEngine, ClusterQueryRequest, ReplicaPolicy, ReplicationConfig,
+};
 use ndsearch::core::config::NdsConfig;
 use ndsearch::core::deploy::Deployment;
 use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
@@ -110,6 +112,97 @@ fn sharded_topk_is_element_identical_to_unsharded() {
                             tombstones.len()
                         );
                         // No tombstone may surface from any shard.
+                        for t in &tombstones {
+                            prop_assert!(!outcome.results.iter().any(|nb| nb.id == *t));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Replication parity: replicas of a shard are deterministic twins (same
+/// sub-dataset, same build, same update fan-out), so in the exhaustive
+/// regime a no-failure cluster with R ∈ {2, 3} replicas returns
+/// element-identical top-k to the single-replica cluster under every
+/// routing policy — tombstones applied through the replicated update
+/// path included.
+#[test]
+fn replicated_topk_is_element_identical_to_single_replica() {
+    proptest::test_runner::run(
+        Config { cases: 2 },
+        "replicated_topk_is_element_identical_to_single_replica",
+        |rng: &mut TestRng| {
+            let n = (150usize..240).generate(rng);
+            let q = (3usize..6).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let mut config = NdsConfig::scaled_for(n, base.stored_vector_bytes());
+            config.ecc.hard_decision_failure_prob = 0.0;
+            let serve = ServeConfig {
+                beam_width: n,
+                k: (4usize..12).generate(rng),
+                ..ServeConfig::default()
+            };
+            let tombstones: Vec<VectorId> = {
+                let count = (0usize..10).generate(rng);
+                let mut ids: Vec<VectorId> = (0..count)
+                    .map(|_| (0..n).generate(rng) as VectorId)
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            };
+            let plan_seed = (0u64..u64::MAX).generate(rng);
+            let shards = 2usize;
+
+            let run = |replication: ReplicationConfig| {
+                let plan = ShardPlan::partition(n, shards, ShardPolicy::BalancedSize, plan_seed);
+                let mut cluster = ClusterEngine::stage_replicated(
+                    &config,
+                    serve.clone(),
+                    plan,
+                    replication,
+                    &base,
+                    vamana_builder,
+                );
+                for &t in &tombstones {
+                    cluster.submit_update(UpdateRequest::delete_at(0, t));
+                }
+                cluster.run_to_completion();
+                for (_, qv) in queries.iter() {
+                    cluster.submit(ClusterQueryRequest::at(0, qv.to_vec()));
+                }
+                cluster.run_to_completion()
+            };
+
+            let reference = run(ReplicationConfig::default());
+            prop_assert_eq!(reference.completed(), q);
+            prop_assert_eq!(reference.updates_completed(), tombstones.len());
+            for replicas in [2usize, 3] {
+                for policy in [
+                    ReplicaPolicy::RoundRobin,
+                    ReplicaPolicy::LeastLoaded,
+                    ReplicaPolicy::Hedged { delay_ns: 25_000 },
+                ] {
+                    let report = run(ReplicationConfig::replicated(replicas).with_policy(policy));
+                    prop_assert_eq!(report.updates_completed(), tombstones.len());
+                    prop_assert_eq!(report.completed(), q);
+                    prop_assert_eq!(report.failovers(), 0);
+                    for (i, outcome) in report.outcomes.iter().enumerate() {
+                        prop_assert_eq!(
+                            &outcome.results,
+                            &reference.outcomes[i].results,
+                            "query {} diverged at R = {} / {:?} (n = {}, k = {}, \
+                             {} tombstones)",
+                            i,
+                            replicas,
+                            policy,
+                            n,
+                            serve.k,
+                            tombstones.len()
+                        );
                         for t in &tombstones {
                             prop_assert!(!outcome.results.iter().any(|nb| nb.id == *t));
                         }

@@ -17,7 +17,9 @@ use proptest::test_runner::{Config, TestRng};
 use ndsearch::anns::index::{GraphAnnsIndex, MutableIndex, SearchParams};
 use ndsearch::anns::trace::BatchTrace;
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
-use ndsearch::core::cluster::{ClusterEngine, ClusterQueryRequest};
+use ndsearch::core::cluster::{
+    ClusterEngine, ClusterQueryRequest, FailureSchedule, ReplicaPolicy, ReplicationConfig,
+};
 use ndsearch::core::config::NdsConfig;
 use ndsearch::core::deploy::Deployment;
 use ndsearch::core::engine::NdsEngine;
@@ -236,6 +238,104 @@ fn cluster_report_bit_identical_across_thread_counts_and_shard_order() {
                 &reference,
                 &run(4, &[1usize, 0, 3, 2]),
                 "cluster diverged under 4 threads + permuted shard order"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Replicated serving under a failure schedule: failure events and
+/// hedges fire at round boundaries from simulated clocks in fixed
+/// schedule/submission order, so a mid-run replica kill plus an ECC
+/// storm must reproduce the full cluster report — failover re-seeds,
+/// hedge races, availability, per-replica breakdowns — bit-identically
+/// at `exec_threads` ∈ {1, 4} and under permuted shard step orders.
+#[test]
+fn replicated_failover_bit_identical_across_thread_counts_and_shard_order() {
+    proptest::test_runner::run(
+        Config { cases: 2 },
+        "replicated_failover_bit_identical_across_thread_counts_and_shard_order",
+        |rng| {
+            let n = (200usize..320).generate(rng);
+            let q = (5usize..9).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let mut config = random_config(rng, n * 2, base.stored_vector_bytes());
+            config.refresh_read_threshold = 0;
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                ..ServeConfig::default()
+            };
+            let plan_seed = (0u64..u64::MAX).generate(rng);
+            let interarrival = (100u64..2_000).generate(rng);
+            let shards = 4usize;
+            let policy = if any::<bool>().generate(rng) {
+                ReplicaPolicy::RoundRobin
+            } else {
+                ReplicaPolicy::Hedged {
+                    delay_ns: (10_000u64..200_000).generate(rng),
+                }
+            };
+            // Kill one replica almost immediately (so sessions are still
+            // in flight and must fail over) and storm another mid-run.
+            let kill_shard = (0usize..shards).generate(rng);
+            let storm_at = (0u64..100_000).generate(rng);
+            let failures = FailureSchedule::new().kill(1, kill_shard, 0).ecc_storm(
+                storm_at,
+                (kill_shard + 1) % shards,
+                1,
+                0.9,
+            );
+            let replication = ReplicationConfig::replicated(2)
+                .with_policy(policy)
+                .with_failures(failures);
+
+            let builder = |ds: &Dataset| {
+                let index = Vamana::build(ds, VamanaParams::default());
+                let entry = index.medoid();
+                (Box::new(index) as Box<dyn MutableIndex>, entry)
+            };
+            let run = |threads: usize, order: &[usize]| {
+                let mut c = config.clone();
+                c.exec_threads = threads;
+                // BalancedSize never leaves a shard empty, so the killed
+                // replica always had sessions to fail over.
+                let plan = ShardPlan::partition(n, shards, ShardPolicy::BalancedSize, plan_seed);
+                let mut cluster = ClusterEngine::stage_replicated(
+                    &c,
+                    serve.clone(),
+                    plan,
+                    replication.clone(),
+                    &base,
+                    builder,
+                );
+                for (i, (_, qv)) in queries.iter().enumerate() {
+                    cluster.submit(ClusterQueryRequest::at(
+                        i as Nanos * interarrival,
+                        qv.to_vec(),
+                    ));
+                }
+                cluster.run_to_completion_ordered(order)
+            };
+            let identity: Vec<usize> = (0..shards).collect();
+            let reference = run(1, &identity);
+            prop_assert_eq!(reference.completed(), q, "failover lost sessions");
+            prop_assert!(reference.failovers() > 0, "kill at t=1 must fail over");
+            prop_assert!(reference.availability() > 0.0 && reference.availability() <= 1.0);
+            prop_assert_eq!(
+                &reference,
+                &run(4, &identity),
+                "replicated cluster diverged between 1 and 4 threads"
+            );
+            prop_assert_eq!(
+                &reference,
+                &run(1, &[3usize, 1, 0, 2]),
+                "replicated cluster diverged under permuted shard order"
+            );
+            prop_assert_eq!(
+                &reference,
+                &run(4, &[2usize, 3, 0, 1]),
+                "replicated cluster diverged under 4 threads + permuted order"
             );
             Ok(())
         },

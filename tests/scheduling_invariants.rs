@@ -239,6 +239,68 @@ fn batch_scheduler_is_fair_under_oversubscription() {
 }
 
 #[test]
+fn deadline_boundary_is_exact_at_completion_and_expiry() {
+    // Pinned deadline semantics: a session is `Completed` iff its
+    // completion instant is <= its deadline, and a deadline at or before
+    // the current round start expires immediately — `deadline == now`
+    // does not buy an extra round. Regression test for two former edge
+    // cases: expiry was only checked at round *start* with a strict
+    // `d < now`, so a session finishing late inside a round was reported
+    // `Completed` and a `deadline == now` session survived one round.
+    let (fx, queries, medoid) = serve_setup();
+    let q = queries.vector(0).to_vec();
+    let run_with = |deadline: Option<u64>| {
+        let prepared = Prepared::stage(
+            &fx.config,
+            &fx.graph,
+            &fx.base,
+            &ndsearch::anns::trace::BatchTrace::default(),
+        );
+        let mut engine = ServeEngine::new(
+            &fx.config,
+            ServeConfig::default(),
+            &prepared,
+            &fx.base,
+            &fx.graph,
+        );
+        let mut req = QueryRequest::at(1_000, q.clone(), vec![medoid]);
+        req.deadline_ns = deadline;
+        engine.submit(req);
+        engine.run_to_completion()
+    };
+    let free = run_with(None);
+    assert_eq!(free.outcomes[0].state, SessionState::Completed);
+    let done = free.outcomes[0].completed_ns;
+    assert!(done > 1_000);
+
+    // Deadline exactly at the completion instant: still a completion.
+    let exact = run_with(Some(done));
+    assert_eq!(
+        exact.outcomes[0].state,
+        SessionState::Completed,
+        "completing exactly at the deadline must count as met"
+    );
+    assert_eq!(exact.outcomes[0].completed_ns, done);
+
+    // One nanosecond tighter: the final round now finishes past the
+    // deadline, so the very same execution must be reported Expired.
+    let late = run_with(Some(done - 1));
+    assert_eq!(
+        late.outcomes[0].state,
+        SessionState::Expired,
+        "finishing after the deadline must expire, even inside the final round"
+    );
+
+    // Deadline == arrival: expired at admission, before any hop runs.
+    let instant = run_with(Some(1_000));
+    assert_eq!(instant.outcomes[0].state, SessionState::Expired);
+    assert_eq!(
+        instant.outcomes[0].hops, 0,
+        "deadline == now must not buy an extra round"
+    );
+}
+
+#[test]
 fn luncsr_stays_consistent_under_refresh_storm() {
     use ndsearch::flash::ftl::Ftl;
     use ndsearch::vector::rng::Pcg32;
