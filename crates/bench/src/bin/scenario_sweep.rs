@@ -1,0 +1,354 @@
+//! Production-traffic scenario sweep: SLO-aware scheduling under
+//! generated arrival streams.
+//!
+//! Part 1 calibrates the unloaded query latency, then drives a sustained
+//! ~2x overload (8 arrivals per unloaded latency against 4 in-flight
+//! slots, deadlines at 4x) under `SloPolicy::None` vs
+//! `SloPolicy::ShedDoomed` — shedding must stop burning capacity on
+//! doomed sessions, so the survivors' on-time p99 and the overall SLO
+//! attainment must both improve. Part 2 has a hog tenant flood its whole
+//! batch ahead of two interactive tenants: under plain FIFO the victims'
+//! tails blow up; `SloPolicy::TenantFair` bounds the hog's in-flight
+//! share and the max/mean per-tenant p99 ratio must come down. Part 3
+//! replays seeded bursty and diurnal multi-tenant scenarios (Zipf
+//! hotspots, mixed updates) end to end. A machine-readable
+//! `BENCH_scenarios.json` snapshot seeds the perf trajectory across PRs.
+//!
+//! Scale knobs: `NDS_N` (base vectors), `NDS_K` (top-k),
+//! `NDS_BENCH_JSON` (snapshot path, default `BENCH_scenarios.json`).
+
+use ndsearch_anns::index::GraphAnnsIndex;
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_bench::{env_usize, f, print_table};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::pipeline::Prepared;
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport, SloPolicy};
+use ndsearch_core::traffic::{ArrivalModel, QueryMix, Scenario, TenantProfile};
+use ndsearch_flash::timing::Nanos;
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::{Dataset, VectorId};
+
+const N_QUERIES: usize = 24;
+const OVERLOAD_QUERIES: usize = 80;
+const SLOTS: usize = 4;
+
+fn vamana(base: &Dataset) -> (Vamana, VectorId) {
+    let index = Vamana::build(base, VamanaParams::default());
+    let medoid = index.medoid();
+    (index, medoid)
+}
+
+fn main() {
+    let n = env_usize("NDS_N", 2000);
+    let k = env_usize("NDS_K", 10);
+    let (base, queries) = DatasetSpec::sift_scaled(n, N_QUERIES).build_pair();
+    let mut config = NdsConfig::scaled_for(n, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let (index, medoid) = vamana(&base);
+    let prepared = Prepared::stage(&config, index.base_graph(), &base, &BatchTrace::default());
+
+    let engine_with = |serve: ServeConfig| -> ServeEngine {
+        ServeEngine::new(&config, serve, &prepared, &base, index.base_graph())
+    };
+
+    // ---- Calibration: one query, alone, no deadline. ----
+    let solo = {
+        let mut engine = engine_with(ServeConfig {
+            k,
+            ..ServeConfig::default()
+        });
+        engine.submit(QueryRequest::at(
+            0,
+            queries.vector(0).to_vec(),
+            vec![medoid],
+        ));
+        engine.run_to_completion()
+    };
+    let unloaded = solo.outcomes[0].latency_ns().max(1);
+
+    // ---- Part 1: ShedDoomed under sustained 2x overload. ----
+    let gap = unloaded / (2 * SLOTS as Nanos); // 2x the slot capacity
+    let deadline = 4 * unloaded;
+    let overload_run = |slo: SloPolicy| -> ServeReport {
+        let mut engine = engine_with(ServeConfig {
+            k,
+            max_inflight: SLOTS,
+            slo,
+            ..ServeConfig::default()
+        });
+        for i in 0..OVERLOAD_QUERIES {
+            let arrival = i as Nanos * gap;
+            let q = queries.vector((i % queries.len()) as VectorId).to_vec();
+            let mut req = QueryRequest::at(arrival, q, vec![medoid]);
+            req.deadline_ns = Some(arrival + deadline);
+            engine.submit(req);
+        }
+        engine.run_to_completion()
+    };
+    let mut shed_rows = Vec::new();
+    let mut shed_snapshot: Vec<String> = Vec::new();
+    let mut on_time_p99 = [0u64; 2];
+    let mut on_time_count = [0usize; 2];
+    // Shed with one unloaded latency of slack: a session is evicted
+    // unless it is expected to finish at least `unloaded` before its
+    // deadline. The slack is what moves the on-time p99, not just the
+    // on-time count — with zero slack the marginal survivor in *both*
+    // runs completes right at the deadline wall.
+    let cases = [
+        ("none", SloPolicy::None),
+        (
+            "shed_doomed",
+            SloPolicy::ShedDoomed {
+                min_slack_ns: unloaded,
+            },
+        ),
+    ];
+    for (i, (name, slo)) in cases.into_iter().enumerate() {
+        let report = overload_run(slo);
+        assert_eq!(report.outcomes.len(), OVERLOAD_QUERIES);
+        let on_time = report.completed(); // completed == met its deadline
+        let lat = report.latency(); // over on-time completions
+        on_time_p99[i] = lat.p99_ns;
+        on_time_count[i] = on_time;
+        shed_snapshot.push(format!(
+            "{{\"policy\": \"{name}\", \"on_time\": {on_time}, \"sheds\": {}, \
+             \"expired\": {}, \"attainment\": {:.3}, \"on_time_p99_us\": {:.1}, \
+             \"on_time_p50_us\": {:.1}}}",
+            report.sheds(),
+            report.expired(),
+            report.slo_attainment(),
+            lat.p99_ns as f64 / 1e3,
+            lat.p50_ns as f64 / 1e3,
+        ));
+        shed_rows.push(vec![
+            name.to_string(),
+            on_time.to_string(),
+            report.sheds().to_string(),
+            report.expired().to_string(),
+            f(report.slo_attainment(), 3),
+            f(lat.p50_ns as f64 / 1e3, 1),
+            f(lat.p99_ns as f64 / 1e3, 1),
+        ]);
+        if name == "shed_doomed" {
+            assert!(report.sheds() > 0, "2x overload must shed");
+        } else {
+            assert_eq!(report.sheds(), 0, "SloPolicy::None must never shed");
+        }
+    }
+    print_table(
+        "ShedDoomed under 2x overload (4 slots, deadline 4x, slack 1x unloaded)",
+        &[
+            "policy", "on-time", "sheds", "expired", "attain", "p50 us", "p99 us",
+        ],
+        &shed_rows,
+    );
+    println!(
+        "\nUnloaded latency {:.0} us; arrivals every {:.0} us (2x the 4-slot",
+        unloaded as f64 / 1e3,
+        gap as f64 / 1e3
+    );
+    println!("capacity). Without shedding, doomed sessions hold slots until their");
+    println!("deadlines pass; shedding evicts them early and the survivors win.");
+    assert!(
+        on_time_count[1] > on_time_count[0],
+        "shedding must improve on-time completions: {} !> {}",
+        on_time_count[1],
+        on_time_count[0]
+    );
+    assert!(
+        on_time_p99[1] < on_time_p99[0],
+        "shedding must improve on-time p99: {} ns !< {} ns",
+        on_time_p99[1],
+        on_time_p99[0]
+    );
+
+    // ---- Part 2: TenantFair against a hog tenant. ----
+    // Tenant 0 floods its whole batch at t=0; tenants 1 and 2 submit
+    // just after. FIFO admission serves the hog's backlog first.
+    let fair_run = |slo: SloPolicy| -> ServeReport {
+        let mut engine = engine_with(ServeConfig {
+            k,
+            max_inflight: 6,
+            slo,
+            ..ServeConfig::default()
+        });
+        for tenant in 0..3u32 {
+            for i in 0..N_QUERIES {
+                let q = queries.vector((i % queries.len()) as VectorId).to_vec();
+                engine.submit(QueryRequest::at(tenant as Nanos, q, vec![medoid]).tenant(tenant));
+            }
+        }
+        engine.run_to_completion()
+    };
+    let mut fair_rows = Vec::new();
+    let mut fair_snapshot: Vec<String> = Vec::new();
+    let mut ratios = [0.0f64; 2];
+    let cases = [
+        ("none", SloPolicy::None),
+        (
+            "tenant_fair",
+            SloPolicy::TenantFair {
+                max_inflight_per_tenant: 2,
+            },
+        ),
+    ];
+    for (i, (name, slo)) in cases.into_iter().enumerate() {
+        let report = fair_run(slo);
+        assert_eq!(report.completed(), 3 * N_QUERIES, "{name}: queries lost");
+        let tenants = report.tenant_summaries();
+        assert_eq!(tenants.len(), 3, "{name}: tenant summaries incomplete");
+        let ratio = report.tenant_p99_fairness();
+        ratios[i] = ratio;
+        let p99s: Vec<f64> = tenants
+            .iter()
+            .map(|t| t.latency.p99_ns as f64 / 1e3)
+            .collect();
+        fair_snapshot.push(format!(
+            "{{\"policy\": \"{name}\", \"fairness_ratio\": {ratio:.3}, \
+             \"per_tenant_p99_us\": [{}]}}",
+            p99s.iter()
+                .map(|p| format!("{p:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        fair_rows.push(vec![
+            name.to_string(),
+            f(ratio, 3),
+            f(p99s[0], 1),
+            f(p99s[1], 1),
+            f(p99s[2], 1),
+        ]);
+    }
+    print_table(
+        "TenantFair vs a hog tenant (3 tenants x 24 queries, 6 slots, cap 2)",
+        &["policy", "max/mean", "t0 p99 us", "t1 p99 us", "t2 p99 us"],
+        &fair_rows,
+    );
+    println!("\nThe hog submits first and FIFO admission drains it before the");
+    println!("interactive tenants; the per-tenant cap interleaves all three.");
+    assert!(
+        ratios[1] < ratios[0],
+        "TenantFair must reduce the max/mean per-tenant p99 ratio: {} !< {}",
+        ratios[1],
+        ratios[0]
+    );
+
+    // ---- Part 3: generated scenario showcase (bursty, diurnal). ----
+    let tenants = vec![
+        TenantProfile::new(0).weight(2.0).deadline_ns(8 * unloaded),
+        TenantProfile::new(1).update_fraction(0.3).k(k.min(5)),
+    ];
+    let scenarios = [
+        (
+            "bursty",
+            Scenario {
+                arrivals: ArrivalModel::Bursty {
+                    base_rate_qps: 1e9 / (4 * unloaded) as f64,
+                    spike_rate_qps: 1e9 / (unloaded / 4) as f64,
+                    spike_windows: vec![(10 * unloaded, 20 * unloaded)],
+                },
+                mix: QueryMix {
+                    zipf_theta: 0.99,
+                    delete_fraction: 0.4,
+                    tenants: tenants.clone(),
+                },
+                events: 120,
+                start_ns: 0,
+                seed: 0xB0,
+            },
+        ),
+        (
+            "diurnal",
+            Scenario {
+                arrivals: ArrivalModel::Diurnal {
+                    profile: vec![0.2, 1.0, 0.6, 0.05],
+                    period_ns: 200 * unloaded,
+                    peak_rate_qps: 1e9 / unloaded as f64,
+                },
+                mix: QueryMix {
+                    zipf_theta: 0.6,
+                    delete_fraction: 0.0,
+                    tenants,
+                },
+                events: 120,
+                start_ns: 0,
+                seed: 0xD1,
+            },
+        ),
+    ];
+    let mut scenario_rows = Vec::new();
+    let mut scenario_snapshot: Vec<String> = Vec::new();
+    for (name, scenario) in scenarios {
+        let trace = scenario.generate(queries.len(), queries.len(), 0..(n / 10) as VectorId);
+        let mut engine = engine_with(ServeConfig {
+            k,
+            max_inflight: SLOTS,
+            slo: SloPolicy::ShedDoomed { min_slack_ns: 0 },
+            ..ServeConfig::default()
+        });
+        trace.submit_serve(&mut engine, &queries, &queries, &[medoid]);
+        let report = engine.run_to_completion();
+        assert_eq!(
+            report.outcomes.len(),
+            trace.queries(),
+            "{name}: lost queries"
+        );
+        let attainment = report.slo_attainment();
+        assert!(
+            attainment > 0.0 && attainment <= 1.0,
+            "{name}: attainment {attainment} outside (0, 1]"
+        );
+        let lat = report.latency();
+        scenario_snapshot.push(format!(
+            "{{\"scenario\": \"{name}\", \"events\": {}, \"queries\": {}, \
+             \"updates\": {}, \"span_us\": {:.1}, \"attainment\": {attainment:.3}, \
+             \"sheds\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"qps\": {:.1}}}",
+            trace.len(),
+            trace.queries(),
+            trace.updates(),
+            trace.span_ns() as f64 / 1e3,
+            report.sheds(),
+            lat.p50_ns as f64 / 1e3,
+            lat.p99_ns as f64 / 1e3,
+            report.qps(),
+        ));
+        scenario_rows.push(vec![
+            name.to_string(),
+            trace.queries().to_string(),
+            trace.updates().to_string(),
+            f(trace.span_ns() as f64 / 1e6, 1),
+            f(attainment, 3),
+            report.sheds().to_string(),
+            f(lat.p99_ns as f64 / 1e3, 1),
+        ]);
+    }
+    print_table(
+        "Generated scenarios (Zipf hotspots, mixed updates, ShedDoomed)",
+        &[
+            "scenario", "queries", "updates", "span ms", "attain", "sheds", "p99 us",
+        ],
+        &scenario_rows,
+    );
+
+    // ---- Machine-readable snapshot for the perf trajectory. ----
+    let path =
+        std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_scenarios.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"scenarios\",\n  \"n_base\": {n},\n  \"k\": {k},\n  \
+         \"unloaded_latency_us\": {unloaded_us:.1},\n  \
+         \"overload\": {{\"queries\": {oq}, \"slots\": {SLOTS}, \"overload_x\": 2.0, \
+         \"deadline_x\": 4.0, \"rows\": [\n    {shed}\n  ]}},\n  \
+         \"fairness\": {{\"tenants\": 3, \"cap\": 2, \"rows\": [\n    {fair}\n  ]}},\n  \
+         \"scenarios\": [\n    {scen}\n  ]\n}}\n",
+        unloaded_us = unloaded as f64 / 1e3,
+        oq = OVERLOAD_QUERIES,
+        shed = shed_snapshot.join(",\n    "),
+        fair = fair_snapshot.join(",\n    "),
+        scen = scenario_snapshot.join(",\n    "),
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote bench snapshot to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

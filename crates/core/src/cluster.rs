@@ -344,16 +344,45 @@ pub struct ClusterQueryRequest {
     /// Optional absolute deadline, applied on every shard (and on every
     /// hedge/failover copy of the session).
     pub deadline_ns: Option<Nanos>,
+    /// Tenant the query belongs to (0 = the default tenant); carried to
+    /// every per-shard session, so [`crate::serve::SloPolicy::TenantFair`]
+    /// and the per-tenant roll-ups apply cluster-wide.
+    pub tenant: u32,
+    /// Per-query top-k override for the gather; `None` uses the cluster's
+    /// [`ServeConfig::k`]. Each shard still returns its own full top-k;
+    /// the override bounds the merged list.
+    pub k: Option<usize>,
 }
 
 impl ClusterQueryRequest {
-    /// A request arriving at `arrival_ns` with no deadline.
+    /// A request arriving at `arrival_ns` with no deadline, tenant 0 and
+    /// the cluster's default top-k.
     pub fn at(arrival_ns: Nanos, query: Vec<f32>) -> Self {
         Self {
             query,
             arrival_ns,
             deadline_ns: None,
+            tenant: 0,
+            k: None,
         }
+    }
+
+    /// Set the tenant id.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the absolute deadline.
+    pub fn deadline(mut self, deadline_ns: Nanos) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Set the per-query top-k.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
     }
 }
 
@@ -378,6 +407,13 @@ pub struct ClusterQueryOutcome {
     pub hops: usize,
     /// Merged top-k in **global** ids, ascending `(distance, id)`.
     pub results: Vec<Neighbor>,
+    /// Tenant the query belonged to.
+    pub tenant: u32,
+    /// The deadline it carried, if any.
+    pub deadline_ns: Option<Nanos>,
+    /// Whether any winning shard session was terminated by a
+    /// [`crate::serve::SloPolicy::ShedDoomed`] decision.
+    pub shed: bool,
 }
 
 impl ClusterQueryOutcome {
@@ -569,6 +605,35 @@ impl ClusterReport {
         summary
     }
 
+    /// Cluster queries whose winning session on some shard was shed by a
+    /// [`crate::serve::SloPolicy::ShedDoomed`] decision.
+    pub fn sheds(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.shed).count()
+    }
+
+    /// SLO attainment: the fraction of deadline-carrying cluster queries
+    /// that completed on time on every shard; `1.0` when none carried a
+    /// deadline.
+    pub fn slo_attainment(&self) -> f64 {
+        crate::serve::slo_attainment_of(self.outcomes.iter().map(|o| (o.deadline_ns, o.state)))
+    }
+
+    /// Per-tenant roll-ups over the merged cluster outcomes, ascending by
+    /// tenant id.
+    pub fn tenant_summaries(&self) -> Vec<crate::report::TenantSummary> {
+        crate::report::summarize_tenants(&crate::serve::tenant_samples(
+            self.outcomes
+                .iter()
+                .map(|o| (o.tenant, o.state, o.shed, o.deadline_ns, o.latency_ns())),
+        ))
+    }
+
+    /// Fairness metric: max over mean of the per-tenant p99 latencies
+    /// (see [`crate::report::tenant_p99_fairness`]).
+    pub fn tenant_p99_fairness(&self) -> f64 {
+        crate::report::tenant_p99_fairness(&self.tenant_summaries())
+    }
+
     /// Write-path totals summed across **every replica device** of every
     /// shard — fleet-level flash wear, not logical update volume:
     /// updates fan out to all replicas, so R replicas program ~R× the
@@ -712,6 +777,9 @@ struct Scatter {
     query: Vec<f32>,
     arrival_ns: Nanos,
     deadline_ns: Option<Nanos>,
+    tenant: u32,
+    /// Per-query top-k override for the gather.
+    k: Option<usize>,
     sessions: Vec<Option<ScatterShard>>,
 }
 
@@ -904,6 +972,8 @@ impl<'a> ClusterEngine<'a> {
                     entries: vec![rep.entry],
                     arrival_ns: req.arrival_ns,
                     deadline_ns: req.deadline_ns,
+                    tenant: req.tenant,
+                    k: req.k,
                 });
                 rep.routed.push(query);
                 Some(ScatterShard {
@@ -918,6 +988,8 @@ impl<'a> ClusterEngine<'a> {
             query: req.query,
             arrival_ns: req.arrival_ns,
             deadline_ns: req.deadline_ns,
+            tenant: req.tenant,
+            k: req.k,
             sessions,
         });
         id
@@ -1101,6 +1173,27 @@ impl<'a> ClusterEngine<'a> {
         self.report()
     }
 
+    /// Compacts every **alive** replica of every staged shard in place
+    /// (dead devices are skipped; surviving twins stay identical because
+    /// compaction is deterministic), charging each device's rewrite to
+    /// its simulated clock. Returns the per-device reports in
+    /// `(shard, replica)` order; empty for query-only deployments.
+    ///
+    /// Call between traffic phases (after a
+    /// [`run_to_completion`](Self::run_to_completion) drain) — the
+    /// production-day maintenance window.
+    pub fn compact_all(&mut self) -> Vec<crate::deploy::CompactionReport> {
+        let mut reports = Vec::new();
+        for shard in self.shards.iter_mut().flatten() {
+            for rep in shard.replicas.iter_mut().filter(|r| r.alive) {
+                if let Some(report) = rep.engine.compact() {
+                    reports.push(report);
+                }
+            }
+        }
+        reports
+    }
+
     /// Fires every not-yet-fired failure event whose target replica's
     /// simulated clock has reached the event time. Returns whether new
     /// work was created (failover re-seeds).
@@ -1201,6 +1294,8 @@ impl<'a> ClusterEngine<'a> {
                     // original arrival time on the survivor.
                     arrival_ns: at_ns.max(scatter.arrival_ns),
                     deadline_ns: scatter.deadline_ns,
+                    tenant: scatter.tenant,
+                    k: scatter.k,
                 });
                 rep.routed.push(query);
                 let old = std::mem::replace(
@@ -1255,6 +1350,8 @@ impl<'a> ClusterEngine<'a> {
                     entries: vec![rep.entry],
                     arrival_ns: fire_at,
                     deadline_ns: scatter.deadline_ns,
+                    tenant: scatter.tenant,
+                    k: scatter.k,
                 });
                 rep.routed.push(query);
                 sc.hedge = Some(ShardSession {
@@ -1420,17 +1517,19 @@ impl<'a> ClusterEngine<'a> {
             .collect();
         self.resolve_updates(&reports);
 
-        let k = self.serve.k;
+        let default_k = self.serve.k;
         let mut hedge_wins = vec![0usize; self.shards.len()];
         let outcomes: Vec<ClusterQueryOutcome> = self
             .queries
             .iter()
             .enumerate()
             .map(|(id, scatter)| {
+                let k = scatter.k.unwrap_or(default_k);
                 let mut states = Vec::new();
                 let mut merged: Vec<Neighbor> = Vec::new();
                 let mut completed = 0;
                 let mut hops = 0;
+                let mut shed = false;
                 for (s, session) in scatter.sessions.iter().enumerate() {
                     let Some(sc) = session else { continue };
                     let reps = reports[s].as_ref().expect("session on staged shard");
@@ -1442,6 +1541,7 @@ impl<'a> ClusterEngine<'a> {
                         hedge_wins[s] += 1;
                     }
                     states.push(winner.state);
+                    shed |= winner.shed;
                     completed = completed.max(winner.completed_ns);
                     hops += primary.hops
                         + hedge.map_or(0, |o| o.hops)
@@ -1467,6 +1567,9 @@ impl<'a> ClusterEngine<'a> {
                     completed_ns: completed,
                     hops,
                     results: merged,
+                    tenant: scatter.tenant,
+                    deadline_ns: scatter.deadline_ns,
+                    shed,
                 }
             })
             .collect();

@@ -1,4 +1,11 @@
 //! NDSEARCH configuration.
+//!
+//! [`NdsConfig`] configures the simulated *device* (geometry, timing,
+//! ECC, scheduling techniques, executor threads). Serving-layer policy —
+//! admission, deadlines and the SLO scheduling of
+//! [`crate::serve::SloPolicy`] — lives on [`crate::serve::ServeConfig`],
+//! and workload shape (arrival models, tenant mixes) on
+//! [`crate::traffic::Scenario`].
 
 use ndsearch_flash::ecc::EccConfig;
 use ndsearch_flash::geometry::FlashGeometry;

@@ -44,7 +44,14 @@
 //!   cluster of per-shard deployments, queries scattered to every shard
 //!   and gathered by a deterministic `(distance, global id)` merge,
 //!   updates routed to their owning shard, per-shard breakdowns and
-//!   load-imbalance reporting.
+//!   load-imbalance reporting;
+//! * [`traffic::Scenario`] — deterministic production-traffic generation:
+//!   Poisson/bursty/diurnal arrival models, Zipfian query hotspots,
+//!   multi-tenant streams with per-tenant rate/deadline/top-k profiles
+//!   and an update fraction, replayable into any engine tier; paired
+//!   with [`serve::SloPolicy`] (deadline-aware shedding and per-tenant
+//!   in-flight fairness) and per-tenant SLO reporting on
+//!   [`serve::ServeReport`] / [`cluster::ClusterReport`].
 //!
 //! # Example
 //!
@@ -80,6 +87,7 @@ pub mod serve;
 pub mod sin;
 pub mod speculative;
 pub mod stream;
+pub mod traffic;
 pub mod vgen;
 
 pub use cluster::{
@@ -90,5 +98,11 @@ pub use config::{NdsConfig, SchedulingConfig};
 pub use deploy::{CompactionReport, Deployment, InsertError, UpdateTotals};
 pub use engine::NdsEngine;
 pub use pipeline::Prepared;
-pub use report::{LatencyBreakdown, LatencySummary, NdsReport};
-pub use serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport, UpdateOp, UpdateRequest};
+pub use report::{LatencyBreakdown, LatencySummary, NdsReport, TenantSummary};
+pub use serve::{
+    QueryRequest, ServeConfig, ServeEngine, ServeReport, SloPolicy, UpdateOp, UpdateRequest,
+};
+pub use traffic::{
+    ArrivalModel, QueryMix, Scenario, Submitted, TenantProfile, TrafficEvent, TrafficTrace,
+    ZipfSampler,
+};

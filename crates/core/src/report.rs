@@ -66,6 +66,120 @@ impl LatencySummary {
     }
 }
 
+/// One query's contribution to the per-tenant roll-up — the neutral shape
+/// both [`crate::serve::ServeReport`] and [`crate::cluster::ClusterReport`]
+/// lower their outcomes into before calling [`summarize_tenants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSample {
+    /// Tenant id of the query.
+    pub tenant: u32,
+    /// Whether the query completed on time.
+    pub completed: bool,
+    /// Whether it expired (deadline passed mid-flight or in queue).
+    pub expired: bool,
+    /// Whether it was rejected (queue overflow or shed at admission).
+    pub rejected: bool,
+    /// Whether an [`crate::serve::SloPolicy::ShedDoomed`] decision caused
+    /// the terminal state.
+    pub shed: bool,
+    /// Whether the query carried a deadline (counts toward attainment).
+    pub has_deadline: bool,
+    /// End-to-end latency; meaningful only when `completed`.
+    pub latency_ns: Nanos,
+}
+
+/// Per-tenant serving roll-up: outcome counts, SLO attainment and the
+/// completed-query [`LatencySummary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Queries this tenant submitted (terminal outcomes observed).
+    pub submitted: usize,
+    /// Queries completed on time.
+    pub completed: usize,
+    /// Queries that expired past their deadline.
+    pub expired: usize,
+    /// Queries rejected at admission (overflow or shed).
+    pub rejected: usize,
+    /// Queries terminated by a shed decision (subset of
+    /// `expired + rejected`).
+    pub shed: usize,
+    /// Queries that carried a deadline.
+    pub deadline_total: usize,
+    /// Deadline-carrying queries that completed on time.
+    pub deadline_met: usize,
+    /// Latency order statistics over this tenant's completed queries.
+    pub latency: LatencySummary,
+}
+
+impl TenantSummary {
+    /// Fraction of this tenant's deadline-carrying queries that completed
+    /// on time; `1.0` when the tenant ran only best-effort traffic.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.deadline_total == 0 {
+            1.0
+        } else {
+            self.deadline_met as f64 / self.deadline_total as f64
+        }
+    }
+}
+
+/// Groups `samples` by tenant id (ascending) and rolls each group up into
+/// a [`TenantSummary`].
+pub fn summarize_tenants(samples: &[TenantSample]) -> Vec<TenantSummary> {
+    let mut by_tenant: std::collections::BTreeMap<u32, (TenantSummary, Vec<Nanos>)> =
+        std::collections::BTreeMap::new();
+    for s in samples {
+        let (summary, lats) = by_tenant.entry(s.tenant).or_insert_with(|| {
+            (
+                TenantSummary {
+                    tenant: s.tenant,
+                    ..TenantSummary::default()
+                },
+                Vec::new(),
+            )
+        });
+        summary.submitted += 1;
+        summary.completed += usize::from(s.completed);
+        summary.expired += usize::from(s.expired);
+        summary.rejected += usize::from(s.rejected);
+        summary.shed += usize::from(s.shed);
+        summary.deadline_total += usize::from(s.has_deadline);
+        summary.deadline_met += usize::from(s.has_deadline && s.completed);
+        if s.completed {
+            lats.push(s.latency_ns);
+        }
+    }
+    by_tenant
+        .into_values()
+        .map(|(mut summary, lats)| {
+            summary.latency = LatencySummary::from_samples(&lats);
+            summary
+        })
+        .collect()
+}
+
+/// Fairness of a per-tenant roll-up: max over mean of the per-tenant p99
+/// latencies, over tenants with at least one completion. `1.0` is perfectly
+/// fair (every tenant sees the same tail); large values mean one tenant's
+/// tail dominates. Returns `1.0` with fewer than two contributing tenants.
+pub fn tenant_p99_fairness(summaries: &[TenantSummary]) -> f64 {
+    let p99s: Vec<f64> = summaries
+        .iter()
+        .filter(|t| t.latency.count > 0)
+        .map(|t| t.latency.p99_ns as f64)
+        .collect();
+    if p99s.len() < 2 {
+        return 1.0;
+    }
+    let mean = p99s.iter().sum::<f64>() / p99s.len() as f64;
+    if mean == 0.0 {
+        return 1.0;
+    }
+    p99s.iter().cloned().fold(0.0, f64::max) / mean
+}
+
 /// Where the execution time went (the categories of Fig. 17).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
@@ -234,6 +348,40 @@ mod tests {
         let one = LatencySummary::from_samples(&[7]);
         assert_eq!(one.p50_ns, 7);
         assert_eq!(one.p99_ns, 7);
+    }
+
+    #[test]
+    fn tenant_rollup_counts_and_fairness() {
+        let mk = |tenant: u32, completed: bool, latency_ns: Nanos, shed: bool| TenantSample {
+            tenant,
+            completed,
+            expired: !completed && !shed,
+            rejected: shed,
+            shed,
+            has_deadline: true,
+            latency_ns,
+        };
+        let samples = vec![
+            mk(1, true, 100, false),
+            mk(1, true, 300, false),
+            mk(1, false, 0, true),
+            mk(0, true, 100, false),
+        ];
+        let ts = summarize_tenants(&samples);
+        assert_eq!(ts.len(), 2);
+        assert_eq!((ts[0].tenant, ts[1].tenant), (0, 1), "ascending tenant id");
+        assert_eq!(ts[1].submitted, 3);
+        assert_eq!(ts[1].completed, 2);
+        assert_eq!(ts[1].shed, 1);
+        assert_eq!(ts[1].deadline_total, 3);
+        assert_eq!(ts[1].deadline_met, 2);
+        assert!((ts[1].slo_attainment() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ts[1].latency.count, 2);
+        assert_eq!(ts[0].slo_attainment(), 1.0);
+        // p99s are 100 (tenant 0) and 300 (tenant 1): max/mean = 1.5.
+        assert!((tenant_p99_fairness(&ts) - 1.5).abs() < 1e-12);
+        assert_eq!(tenant_p99_fairness(&ts[..1]), 1.0);
+        assert_eq!(tenant_p99_fairness(&[]), 1.0);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   capped by the configured limit, the device's batch resource cap, and
 //!   the number of query-property records the internal DRAM budget holds
 //!   ([`QueryPropertyTable::max_resident`]); arrivals beyond the wait-queue
-//!   capacity are rejected;
+//!   capacity are rejected. [`SloPolicy`] layers deadline-aware
+//!   scheduling on top: shedding work that cannot meet its deadline
+//!   (`ShedDoomed`) and per-tenant in-flight fairness (`TenantFair`),
+//!   with per-tenant roll-ups, [`ServeReport::slo_attainment`] and shed
+//!   counts on the report;
 //! * [`UpdateRequest`] / [`UpdateOutcome`] — online inserts and
 //!   tombstone deletes as *update sessions* over a mutable
 //!   [`Deployment`]: they arrive, wait in a bounded write queue
@@ -258,6 +262,9 @@ pub struct ServeConfig {
     /// Arrived-but-not-applied updates the write queue holds; arrivals
     /// beyond this are rejected (ingest backpressure).
     pub update_queue_capacity: usize,
+    /// Deadline-aware admission policy. [`SloPolicy::None`] preserves the
+    /// legacy FIFO behavior bit-for-bit.
+    pub slo: SloPolicy,
 }
 
 impl Default for ServeConfig {
@@ -271,8 +278,53 @@ impl Default for ServeConfig {
             qpt_dram_budget_bytes: 64 << 20,
             max_updates_per_round: 4,
             update_queue_capacity: 4096,
+            slo: SloPolicy::None,
         }
     }
+}
+
+/// Deadline-aware scheduling policy of the serving layer.
+///
+/// All decisions run on the simulated clock and on counters derived from
+/// the simulation alone, so every policy keeps reports bit-identical at
+/// any [`NdsConfig::exec_threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloPolicy {
+    /// Pure FIFO admission (the legacy behavior): nothing is shed, no
+    /// per-tenant caps.
+    None,
+    /// Shed work that cannot meet its deadline, instead of letting it
+    /// burn device time and slow everyone else down.
+    ///
+    /// The estimator (documented, pinned by `tests/scheduling_invariants.rs`):
+    /// the per-hop cost is the observed mean duration of rounds that
+    /// executed at least one hop (`0` until the first such round — the
+    /// engine starts optimistic and sheds nothing); the expected hop count
+    /// is the mean hops of sessions that finished their search (prior:
+    /// [`ServeConfig::beam_width`] before any finish). A session with
+    /// `hops_done` hops behind it is estimated to finish at
+    /// `now + max(expected_hops - hops_done, 1) × per_hop_ns`; it is shed
+    /// at the round boundary iff it carries a deadline and
+    /// `estimate + min_slack_ns > deadline`. The estimate excludes the
+    /// completion tail (PCIe/sorting), which `min_slack_ns` exists to
+    /// cover. Queued doomed sessions are `Rejected` before paying the
+    /// transfer-in; in-flight doomed sessions are cut off `Expired` with
+    /// best-so-far results. Both are flagged [`QueryOutcome::shed`] —
+    /// shed work is reported, never silently dropped.
+    ShedDoomed {
+        /// Safety margin added to the estimated finish before comparing
+        /// against the deadline.
+        min_slack_ns: Nanos,
+    },
+    /// Per-tenant in-flight fairness: no tenant may hold more than this
+    /// many of the in-flight slots, so an aggressive tenant queues behind
+    /// its own cap instead of starving everyone else. Admission stays
+    /// FIFO *within* each tenant; capped-out requests are skipped, not
+    /// rejected, and admitted once their tenant drains.
+    TenantFair {
+        /// Maximum concurrently executing sessions per tenant.
+        max_inflight_per_tenant: usize,
+    },
 }
 
 /// One query submitted to the serving engine.
@@ -295,17 +347,44 @@ pub struct QueryRequest {
     /// the very round the deadline passes is still reported `Expired`,
     /// because its completion necessarily lands after the deadline.
     pub deadline_ns: Option<Nanos>,
+    /// Tenant the query belongs to (0 = the default tenant). Carried onto
+    /// the outcome, rolled up by [`ServeReport::tenant_summaries`] and
+    /// enforced by [`SloPolicy::TenantFair`].
+    pub tenant: u32,
+    /// Per-query top-k override; `None` uses [`ServeConfig::k`].
+    pub k: Option<usize>,
 }
 
 impl QueryRequest {
-    /// A request arriving at `arrival_ns` with no deadline.
+    /// A request arriving at `arrival_ns` with no deadline, tenant 0 and
+    /// the engine's default top-k.
     pub fn at(arrival_ns: Nanos, query: Vec<f32>, entries: Vec<VectorId>) -> Self {
         Self {
             query,
             entries,
             arrival_ns,
             deadline_ns: None,
+            tenant: 0,
+            k: None,
         }
+    }
+
+    /// Set the tenant id.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the absolute deadline.
+    pub fn deadline(mut self, deadline_ns: Nanos) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Set the per-query top-k.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
     }
 }
 
@@ -425,9 +504,24 @@ pub struct QueryOutcome {
     /// Top-k neighbors, ascending by distance (partial if `Expired`,
     /// empty if `Rejected`).
     pub results: Vec<Neighbor>,
+    /// Tenant the query belonged to.
+    pub tenant: u32,
+    /// The deadline it carried, if any.
+    pub deadline_ns: Option<Nanos>,
+    /// Whether a [`SloPolicy::ShedDoomed`] decision produced the terminal
+    /// state (a shed session is `Rejected` from the queue or `Expired`
+    /// from flight — never silently dropped).
+    pub shed: bool,
 }
 
 impl QueryOutcome {
+    /// Whether this query met its SLO: completed, and by its deadline if
+    /// it carried one (completion at the deadline already implies that —
+    /// the scheduler never reports `Completed` past the deadline).
+    pub fn on_time(&self) -> bool {
+        self.state == SessionState::Completed
+    }
+
     /// End-to-end latency the client observed (arrival → results).
     pub fn latency_ns(&self) -> Nanos {
         self.completed_ns.saturating_sub(self.arrival_ns)
@@ -458,6 +552,10 @@ pub struct ServeReport {
     pub rounds: u64,
     /// Most sessions concurrently in flight.
     pub peak_inflight: usize,
+    /// Most sessions concurrently in flight *per tenant*, ascending by
+    /// tenant id. Under [`SloPolicy::TenantFair`] no entry ever exceeds
+    /// the configured cap (pinned by `tests/scheduling_invariants.rs`).
+    pub peak_tenant_inflight: Vec<(u32, usize)>,
     /// Where the device time went (accumulated across rounds).
     pub breakdown: LatencyBreakdown,
     /// Flash access statistics (accumulated across rounds).
@@ -480,6 +578,7 @@ impl PartialEq for ServeReport {
             && self.makespan_ns == other.makespan_ns
             && self.rounds == other.rounds
             && self.peak_inflight == other.peak_inflight
+            && self.peak_tenant_inflight == other.peak_tenant_inflight
             && self.breakdown == other.breakdown
             && self.stats == other.stats
             && self.lun_coverage == other.lun_coverage
@@ -570,6 +669,70 @@ impl ServeReport {
         summary.sim_ns_per_wall_s = self.sim_ns_per_wall_s();
         summary
     }
+
+    /// Sessions terminated by a [`SloPolicy::ShedDoomed`] decision.
+    pub fn sheds(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.shed).count()
+    }
+
+    /// SLO attainment: the fraction of deadline-carrying sessions that
+    /// completed on time; `1.0` when no session carried a deadline.
+    pub fn slo_attainment(&self) -> f64 {
+        slo_attainment_of(self.outcomes.iter().map(|o| (o.deadline_ns, o.state)))
+    }
+
+    /// Per-tenant roll-ups (counts, attainment, latency), ascending by
+    /// tenant id.
+    pub fn tenant_summaries(&self) -> Vec<crate::report::TenantSummary> {
+        crate::report::summarize_tenants(&tenant_samples(self.outcomes.iter().map(outcome_sample)))
+    }
+
+    /// Fairness metric: max over mean of the per-tenant p99 latencies
+    /// (see [`crate::report::tenant_p99_fairness`]).
+    pub fn tenant_p99_fairness(&self) -> f64 {
+        crate::report::tenant_p99_fairness(&self.tenant_summaries())
+    }
+}
+
+/// Shared attainment arithmetic for serve and cluster reports.
+pub(crate) fn slo_attainment_of(
+    outcomes: impl Iterator<Item = (Option<Nanos>, SessionState)>,
+) -> f64 {
+    let (mut with_deadline, mut met) = (0usize, 0usize);
+    for (deadline, state) in outcomes {
+        if deadline.is_some() {
+            with_deadline += 1;
+            met += usize::from(state == SessionState::Completed);
+        }
+    }
+    if with_deadline == 0 {
+        1.0
+    } else {
+        met as f64 / with_deadline as f64
+    }
+}
+
+/// Lowers `(tenant, state, shed, deadline, latency)` tuples into
+/// [`crate::report::TenantSample`]s.
+pub(crate) fn tenant_samples(
+    rows: impl Iterator<Item = (u32, SessionState, bool, Option<Nanos>, Nanos)>,
+) -> Vec<crate::report::TenantSample> {
+    rows.map(
+        |(tenant, state, shed, deadline_ns, latency_ns)| crate::report::TenantSample {
+            tenant,
+            completed: state == SessionState::Completed,
+            expired: state == SessionState::Expired,
+            rejected: state == SessionState::Rejected,
+            shed,
+            has_deadline: deadline_ns.is_some(),
+            latency_ns,
+        },
+    )
+    .collect()
+}
+
+fn outcome_sample(o: &QueryOutcome) -> (u32, SessionState, bool, Option<Nanos>, Nanos) {
+    (o.tenant, o.state, o.shed, o.deadline_ns, o.latency_ns())
 }
 
 /// Internal per-session state. The searcher (which owns a dataset-sized
@@ -593,6 +756,11 @@ struct Session {
     hops: usize,
     rounds_inflight: usize,
     results: Vec<Neighbor>,
+    tenant: u32,
+    /// Resolved top-k (the per-query override or the engine default).
+    k: usize,
+    /// Set when a shed decision produced the terminal state.
+    shed: bool,
 }
 
 impl Session {
@@ -604,7 +772,6 @@ impl Session {
         &mut self,
         state: SessionState,
         completed_ns: Nanos,
-        k: usize,
         deleted: &dyn Fn(VectorId) -> bool,
     ) {
         self.state = state;
@@ -613,7 +780,7 @@ impl Session {
             self.hops = searcher.hops();
             self.results = searcher.found();
             self.results.retain(|n| !deleted(n.id));
-            self.results.truncate(k);
+            self.results.truncate(self.k);
         }
     }
 }
@@ -660,6 +827,18 @@ pub struct ServeEngine<'a> {
     prev_shadow: Nanos,
     rounds: u64,
     peak_inflight: usize,
+    /// Peak concurrent in-flight sessions per tenant.
+    peak_tenant_inflight: std::collections::BTreeMap<u32, usize>,
+    /// Simulated time spent in rounds that executed at least one hop
+    /// (numerator of the shed estimator's per-hop cost).
+    hop_round_ns_total: Nanos,
+    /// Number of rounds that executed at least one hop.
+    hop_rounds: u64,
+    /// Total hops of sessions whose search ran to completion (numerator
+    /// of the estimator's expected hop count).
+    finished_hops_total: u64,
+    /// Number of sessions whose search ran to completion.
+    finished_searches: u64,
     ecc: EccEngine,
     stats: FlashStats,
     breakdown: LatencyBreakdown,
@@ -735,6 +914,11 @@ impl<'a> ServeEngine<'a> {
             prev_shadow: 0,
             rounds: 0,
             peak_inflight: 0,
+            peak_tenant_inflight: std::collections::BTreeMap::new(),
+            hop_round_ns_total: 0,
+            hop_rounds: 0,
+            finished_hops_total: 0,
+            finished_searches: 0,
             ecc: EccEngine::new(&config.geometry, config.ecc),
             stats: FlashStats::new(),
             breakdown: LatencyBreakdown::default(),
@@ -781,6 +965,9 @@ impl<'a> ServeEngine<'a> {
             hops: 0,
             rounds_inflight: 0,
             results: Vec::new(),
+            tenant: req.tenant,
+            k: req.k.unwrap_or(self.serve.k),
+            shed: false,
         });
         self.arrivals.push(Reverse((arrival, id)));
         self.first_arrival_ns = Some(self.first_arrival_ns.map_or(arrival, |f| f.min(arrival)));
@@ -906,7 +1093,6 @@ impl<'a> ServeEngine<'a> {
     /// top-k.
     fn expire_due(&mut self) {
         let now = self.now_ns;
-        let k = self.serve.k;
         let due = |s: &Session| s.deadline_ns.is_some_and(|d| d <= now);
         let expired_inflight: Vec<QueryId> = self
             .inflight
@@ -919,9 +1105,7 @@ impl<'a> ServeEngine<'a> {
             // Partial results still travel the full Sorting-stage path.
             let tail = self.completion_tail_ns();
             let deploy = &self.deploy;
-            self.sessions[id].finish(SessionState::Expired, now + tail, k, &|v| {
-                deploy.is_deleted(v)
-            });
+            self.sessions[id].finish(SessionState::Expired, now + tail, &|v| deploy.is_deleted(v));
             self.last_completion_ns = self.last_completion_ns.max(now + tail);
         }
         let sessions = &mut self.sessions;
@@ -939,6 +1123,79 @@ impl<'a> ServeEngine<'a> {
             s.state = SessionState::Expired;
             s.admitted_ns = now;
             s.completed_ns = now;
+        }
+        self.last_completion_ns = self.last_completion_ns.max(now);
+    }
+
+    /// The [`SloPolicy::ShedDoomed`] estimator: when a session with
+    /// `hops_done` hops behind it is expected to finish, from the observed
+    /// mean duration of hop-executing rounds and the observed mean hop
+    /// count of finished searches ([`ServeConfig::beam_width`] before any
+    /// search finishes). Returns `now` until the first hop round has been
+    /// observed — the engine starts optimistic and sheds nothing.
+    fn estimated_finish_ns(&self, hops_done: usize) -> Nanos {
+        let per_hop_ns = self
+            .hop_round_ns_total
+            .checked_div(self.hop_rounds)
+            .unwrap_or(0);
+        let expected_hops = self
+            .finished_hops_total
+            .checked_div(self.finished_searches)
+            .map_or(self.serve.beam_width as u64, |h| h.max(1));
+        let remaining = expected_hops.saturating_sub(hops_done as u64).max(1);
+        self.now_ns
+            .saturating_add(remaining.saturating_mul(per_hop_ns))
+    }
+
+    /// [`SloPolicy::ShedDoomed`]: terminates deadline-carrying sessions
+    /// whose estimated finish (plus the configured slack) misses their
+    /// deadline. Queued sessions are `Rejected` before paying transfer-in;
+    /// in-flight sessions are cut off `Expired` with best-so-far results
+    /// through the same Sorting-stage tail as a deadline expiry. Every
+    /// decision sets [`QueryOutcome::shed`].
+    fn shed_doomed(&mut self) {
+        let SloPolicy::ShedDoomed { min_slack_ns } = self.serve.slo else {
+            return;
+        };
+        let now = self.now_ns;
+        let doomed = |est: Nanos, deadline: Option<Nanos>| {
+            deadline.is_some_and(|d| est.saturating_add(min_slack_ns) > d)
+        };
+        let doomed_inflight: Vec<QueryId> = self
+            .inflight
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let s = &self.sessions[id];
+                let hops_done = s.searcher.as_ref().map_or(s.hops, |b| b.hops());
+                doomed(self.estimated_finish_ns(hops_done), s.deadline_ns)
+            })
+            .collect();
+        self.inflight.retain(|&id| !doomed_inflight.contains(&id));
+        for id in doomed_inflight {
+            let tail = self.completion_tail_ns();
+            let deploy = &self.deploy;
+            self.sessions[id].finish(SessionState::Expired, now + tail, &|v| deploy.is_deleted(v));
+            self.sessions[id].shed = true;
+            self.last_completion_ns = self.last_completion_ns.max(now + tail);
+        }
+        let queued_estimate = self.estimated_finish_ns(0);
+        let sessions = &mut self.sessions;
+        let mut shed_queued = Vec::new();
+        self.queue.retain(|&id| {
+            if doomed(queued_estimate, sessions[id].deadline_ns) {
+                shed_queued.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in shed_queued {
+            let s = &mut self.sessions[id];
+            s.state = SessionState::Rejected;
+            s.admitted_ns = now;
+            s.completed_ns = now;
+            s.shed = true;
         }
         self.last_completion_ns = self.last_completion_ns.max(now);
     }
@@ -996,6 +1253,7 @@ impl<'a> ServeEngine<'a> {
             self.process_arrivals();
         }
         self.expire_due();
+        self.shed_doomed();
 
         // ---- Snapshot the world at the round boundary: jobs dispatched
         // below can never observe a mid-round mutation. ----
@@ -1009,10 +1267,33 @@ impl<'a> ServeEngine<'a> {
         let mut t_in: Nanos = 0;
         let (num_vertices, beam_width, distance) =
             (dataset.len(), self.serve.beam_width, self.serve.distance);
+        // Per-tenant cap: unbounded unless `TenantFair` is in force, so
+        // every other policy admits exactly as the legacy FIFO loop did.
+        let tenant_cap = match self.serve.slo {
+            SloPolicy::TenantFair {
+                max_inflight_per_tenant,
+            } => max_inflight_per_tenant.max(1),
+            _ => usize::MAX,
+        };
+        let mut tenant_inflight: std::collections::BTreeMap<u32, usize> =
+            std::collections::BTreeMap::new();
+        for &id in &self.inflight {
+            *tenant_inflight.entry(self.sessions[id].tenant).or_default() += 1;
+        }
+        // Capped-out requests are skipped, not rejected: they go back to
+        // the queue front afterwards, preserving FIFO within each tenant.
+        let mut skipped: Vec<QueryId> = Vec::new();
         while self.inflight.len() < self.max_inflight() {
             let Some(id) = self.queue.pop_front() else {
                 break;
             };
+            let tenant = self.sessions[id].tenant;
+            let held = tenant_inflight.entry(tenant).or_default();
+            if *held >= tenant_cap {
+                skipped.push(id);
+                continue;
+            }
+            *held += 1;
             let s = &mut self.sessions[id];
             s.state = SessionState::Running;
             s.admitted_ns = self.now_ns;
@@ -1028,7 +1309,16 @@ impl<'a> ServeEngine<'a> {
             self.stats.pcie_bytes += bytes;
             self.inflight.push(id);
         }
+        for id in skipped.into_iter().rev() {
+            self.queue.push_front(id);
+        }
         self.peak_inflight = self.peak_inflight.max(self.inflight.len());
+        for (tenant, held) in tenant_inflight {
+            if held > 0 {
+                let peak = self.peak_tenant_inflight.entry(tenant).or_default();
+                *peak = (*peak).max(held);
+            }
+        }
         self.breakdown.pcie_ns += t_in;
 
         // ---- One hop per in-flight session, in admission order. Hop
@@ -1102,7 +1392,15 @@ impl<'a> ServeEngine<'a> {
             round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
             self.rounds += 1;
         }
-        self.now_ns += round_exec.max(t_in);
+        let advance = round_exec.max(t_in);
+        self.now_ns += advance;
+        if !hops.is_empty() {
+            // Feed the shed estimator: mean duration of hop-executing
+            // rounds (simulated values only — bit-identical at any
+            // thread count).
+            self.hop_round_ns_total += advance;
+            self.hop_rounds += 1;
+        }
 
         // ---- Complete sessions that terminated this round. A session
         // whose results land past its deadline — it finished its search in
@@ -1112,14 +1410,17 @@ impl<'a> ServeEngine<'a> {
         for id in finished {
             self.inflight.retain(|&x| x != id);
             let tail = self.completion_tail_ns();
-            let k = self.serve.k;
             let done_ns = self.now_ns + tail;
             let state = match self.sessions[id].deadline_ns {
                 Some(d) if done_ns > d => SessionState::Expired,
                 _ => SessionState::Completed,
             };
             let deploy = &self.deploy;
-            self.sessions[id].finish(state, done_ns, k, &|v| deploy.is_deleted(v));
+            self.sessions[id].finish(state, done_ns, &|v| deploy.is_deleted(v));
+            // Feed the shed estimator's expected-hops prior: this session
+            // ran its search to the end (even if it expired at the tail).
+            self.finished_hops_total += self.sessions[id].hops as u64;
+            self.finished_searches += 1;
             self.last_completion_ns = self.last_completion_ns.max(done_ns);
         }
 
@@ -1231,6 +1532,9 @@ impl<'a> ServeEngine<'a> {
                 hops: s.searcher.as_ref().map_or(s.hops, |b| b.hops()),
                 rounds_inflight: s.rounds_inflight,
                 results: s.results.clone(),
+                tenant: s.tenant,
+                deadline_ns: s.deadline_ns,
+                shed: s.shed,
             })
             .collect();
         let update_outcomes = self
@@ -1258,6 +1562,11 @@ impl<'a> ServeEngine<'a> {
                 .saturating_sub(self.first_arrival_ns.unwrap_or(0)),
             rounds: self.rounds,
             peak_inflight: self.peak_inflight,
+            peak_tenant_inflight: self
+                .peak_tenant_inflight
+                .iter()
+                .map(|(&t, &p)| (t, p))
+                .collect(),
             breakdown: self.breakdown,
             stats: self.stats,
             lun_coverage: self.luns_touched.len() as f64

@@ -65,6 +65,46 @@
 //! "Replication & failover" section of `docs/ARCHITECTURE.md` and the
 //! `replica_sweep` bench binary.
 //!
+//! ## Traffic scenarios & SLO scheduling
+//!
+//! `core::traffic` generates deterministic production-day workloads: a
+//! seeded [`core::traffic::Scenario`] composes an arrival model
+//! (closed-loop, Poisson, bursty spike windows or a diurnal profile)
+//! with a query mix (Zipfian hotspots, multi-tenant streams carrying
+//! per-tenant rate/deadline/top-k profiles and an update fraction) into
+//! a replayable trace for any engine tier. On the serving side,
+//! [`serve::SloPolicy`] makes the scheduler deadline-aware: `ShedDoomed`
+//! evicts sessions whose estimated finish misses their deadline instead
+//! of letting them burn capacity, and `TenantFair` bounds each tenant's
+//! in-flight share; reports roll up per-tenant latency summaries, SLO
+//! attainment, shed counts and a max/mean p99 fairness ratio. The same
+//! seed replays a whole day — churn, compaction, a load spike, a replica
+//! kill — bit-identically at any `exec_threads`. See the "Traffic
+//! scenarios & SLO scheduling" section of `docs/ARCHITECTURE.md` and the
+//! `scenario_sweep` bench binary.
+//!
+//! ```
+//! use ndsearch::core::traffic::{ArrivalModel, QueryMix, Scenario, TenantProfile};
+//!
+//! let scenario = Scenario {
+//!     arrivals: ArrivalModel::Poisson { rate_qps: 10_000.0 },
+//!     mix: QueryMix {
+//!         zipf_theta: 0.99,
+//!         delete_fraction: 0.3,
+//!         tenants: vec![
+//!             TenantProfile::new(0).weight(3.0).deadline_ns(500_000),
+//!             TenantProfile::new(1).update_fraction(0.2),
+//!         ],
+//!     },
+//!     events: 100,
+//!     start_ns: 0,
+//!     seed: 7,
+//! };
+//! let trace = scenario.generate(32, 16, 0..64);
+//! assert_eq!(trace.len(), 100);
+//! # assert!(trace.queries() + trace.updates() == 100);
+//! ```
+//!
 //! See `examples/` for full scenarios and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 

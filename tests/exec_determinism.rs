@@ -342,6 +342,74 @@ fn replicated_failover_bit_identical_across_thread_counts_and_shard_order() {
     );
 }
 
+/// Scenario-engine traffic over the cluster tier: a multi-tenant bursty
+/// trace (Zipfian hotspots, deadlines, inserts and deletes) served under
+/// `SloPolicy::TenantFair` must produce a bit-identical cluster report at
+/// `exec_threads` ∈ {1, 4}. SLO admission skips and per-tenant in-flight
+/// accounting run on simulated counters only, so thread count must not
+/// leak into shedding, fairness or the merged outcomes.
+#[test]
+fn scenario_traffic_with_tenant_fairness_bit_identical_across_thread_counts() {
+    use ndsearch::core::serve::SloPolicy;
+    use ndsearch::core::traffic::{ArrivalModel, QueryMix, Scenario, TenantProfile};
+
+    let (base, queries) = DatasetSpec::sift_scaled(300, 8).build_pair();
+    let mut config = NdsConfig::scaled_for(600, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    config.refresh_read_threshold = 0;
+    let serve = ServeConfig {
+        max_inflight: 4,
+        beam_width: 32,
+        slo: SloPolicy::TenantFair {
+            max_inflight_per_tenant: 2,
+        },
+        ..ServeConfig::default()
+    };
+    let scenario = Scenario {
+        arrivals: ArrivalModel::Bursty {
+            base_rate_qps: 20_000.0,
+            spike_rate_qps: 400_000.0,
+            spike_windows: vec![(0, 200_000)],
+        },
+        mix: QueryMix {
+            zipf_theta: 1.1,
+            delete_fraction: 0.4,
+            tenants: vec![
+                TenantProfile::new(0).weight(2.0).deadline_ns(5_000_000),
+                TenantProfile::new(1).update_fraction(0.5),
+                TenantProfile::new(2).k(3),
+            ],
+        },
+        events: 90,
+        start_ns: 0,
+        seed: 0x7EA,
+    };
+    let trace = scenario.generate(queries.len(), queries.len(), 0..40);
+    assert!(trace.updates() > 0, "mix must exercise the update path");
+
+    let builder = |ds: &Dataset| {
+        let index = Vamana::build(ds, VamanaParams::default());
+        let entry = index.medoid();
+        (Box::new(index) as Box<dyn MutableIndex>, entry)
+    };
+    let run = |threads: usize| {
+        let mut c = config.clone();
+        c.exec_threads = threads;
+        let plan = ShardPlan::partition(300, 4, ShardPolicy::BalancedSize, 0x5A);
+        let mut cluster = ClusterEngine::stage(&c, serve.clone(), plan, &base, builder);
+        trace.submit_cluster(&mut cluster, &queries, &queries);
+        cluster.run_to_completion()
+    };
+    let reference = run(1);
+    assert_eq!(reference.outcomes.len(), trace.queries());
+    assert_eq!(reference.update_outcomes.len(), trace.updates());
+    assert_eq!(
+        reference,
+        run(4),
+        "scenario traffic diverged between 1 and 4 threads"
+    );
+}
+
 #[test]
 fn serving_report_bit_identical_across_thread_counts() {
     proptest::test_runner::run(

@@ -4,6 +4,9 @@
 use proptest::prelude::*;
 
 use ndsearch::anns::bitonic::bitonic_sort;
+use ndsearch::core::traffic::{
+    ArrivalModel, EventKind, QueryMix, Scenario, TenantProfile, ZipfSampler,
+};
 use ndsearch::flash::ftl::Ftl;
 use ndsearch::flash::geometry::FlashGeometry;
 use ndsearch::graph::csr::Csr;
@@ -202,6 +205,154 @@ proptest! {
             let a = compacted.physical_addr(v);
             prop_assert!(seen.insert((a.lun, a.plane_in_lun, a.block, a.page, a.byte)));
         }
+    }
+
+    #[test]
+    fn zipf_skew_tracks_theta(
+        n in 8usize..40,
+        theta in 0.7f64..1.6,
+        seed in any::<u64>(),
+    ) {
+        // Frequencies are rank-ordered, and raising theta concentrates
+        // more mass on the hottest rank.
+        let draws = 4_000usize;
+        let hist = |theta: f64| {
+            let z = ZipfSampler::new(n, theta);
+            let mut rng = ndsearch::vector::rng::Pcg32::seed_from_u64(seed);
+            let mut h = vec![0usize; n];
+            for _ in 0..draws {
+                h[z.sample(&mut rng)] += 1;
+            }
+            h
+        };
+        let lo = hist(theta);
+        prop_assert_eq!(lo.iter().sum::<usize>(), draws);
+        prop_assert!(lo[0] > lo[n - 1], "rank 0 ({}) not hotter than rank {} ({})", lo[0], n - 1, lo[n - 1]);
+        let first_half: usize = lo[..n / 2].iter().sum();
+        prop_assert!(first_half > draws - first_half, "mass not front-loaded");
+        let hi = hist(theta + 0.6);
+        prop_assert!(hi[0] > lo[0], "theta {} -> {} hot-rank mass fell: {} !> {}", theta, theta + 0.6, hi[0], lo[0]);
+    }
+
+    #[test]
+    fn traffic_arrivals_are_monotone_for_every_model(
+        model_pick in 0usize..3,
+        rate in 500.0f64..50_000.0,
+        events in 10usize..200,
+        start in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let arrivals = match model_pick {
+            0 => ArrivalModel::Poisson { rate_qps: rate },
+            1 => ArrivalModel::Bursty {
+                base_rate_qps: rate,
+                spike_rate_qps: rate * 20.0,
+                spike_windows: vec![(500_000, 1_500_000)],
+            },
+            _ => ArrivalModel::Diurnal {
+                profile: vec![1.0, 0.2, 0.05, 0.6],
+                period_ns: 4_000_000,
+                peak_rate_qps: rate,
+            },
+        };
+        let s = Scenario {
+            arrivals,
+            mix: QueryMix {
+                zipf_theta: 0.9,
+                delete_fraction: 0.0,
+                tenants: vec![TenantProfile::new(0), TenantProfile::new(7).weight(2.0)],
+            },
+            events,
+            start_ns: start,
+            seed,
+        };
+        let t = s.generate(16, 0, 0..0);
+        prop_assert_eq!(t.len(), events);
+        // Merged stream is non-decreasing; each tenant's sub-stream is
+        // strictly increasing (open-loop gaps are at least 1 ns).
+        prop_assert!(t.events.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        prop_assert!(t.events.iter().all(|e| e.arrival_ns > start));
+        for tenant in [0u32, 7] {
+            let times: Vec<u64> = t
+                .events
+                .iter()
+                .filter(|e| e.tenant == tenant)
+                .map(|e| e.arrival_ns)
+                .collect();
+            prop_assert!(!times.is_empty());
+            prop_assert!(times.windows(2).all(|w| w[0] < w[1]),
+                "tenant {} sub-stream not strictly monotone", tenant);
+        }
+    }
+
+    #[test]
+    fn traffic_replay_is_bit_identical(
+        events in 1usize..150,
+        theta in 0.0f64..1.5,
+        update_fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let s = Scenario {
+            arrivals: ArrivalModel::Poisson { rate_qps: 5_000.0 },
+            mix: QueryMix {
+                zipf_theta: theta,
+                delete_fraction: 0.5,
+                tenants: vec![
+                    TenantProfile::new(2).deadline_ns(50_000),
+                    TenantProfile::new(5).update_fraction(update_fraction).k(4),
+                ],
+            },
+            events,
+            start_ns: 0,
+            seed,
+        };
+        let a = s.generate(32, 8, 10..50);
+        prop_assert_eq!(&a, &s.generate(32, 8, 10..50));
+        // Deadlines and k ride the right tenants.
+        for e in &a.events {
+            if let EventKind::Query { k, deadline_ns, .. } = &e.kind {
+                match e.tenant {
+                    2 => {
+                        prop_assert_eq!(*k, None);
+                        prop_assert_eq!(*deadline_ns, Some(e.arrival_ns + 50_000));
+                    }
+                    _ => {
+                        prop_assert_eq!(*k, Some(4));
+                        prop_assert_eq!(*deadline_ns, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_trace_is_invariant_under_tenant_order(
+        events in 1usize..150,
+        seed in any::<u64>(),
+        rot in 0usize..3,
+    ) {
+        let tenants = vec![
+            TenantProfile::new(0).weight(3.0).deadline_ns(80_000),
+            TenantProfile::new(3).update_fraction(0.4),
+            TenantProfile::new(9).weight(0.5).k(2),
+        ];
+        let mut s = Scenario {
+            arrivals: ArrivalModel::Poisson { rate_qps: 2_000.0 },
+            mix: QueryMix {
+                zipf_theta: 0.8,
+                delete_fraction: 0.3,
+                tenants: tenants.clone(),
+            },
+            events,
+            start_ns: 0,
+            seed,
+        };
+        let reference = s.generate(16, 4, 0..30);
+        let mut permuted = tenants;
+        permuted.rotate_left(rot);
+        permuted.reverse();
+        s.mix.tenants = permuted;
+        prop_assert_eq!(reference, s.generate(16, 4, 0..30));
     }
 
     #[test]

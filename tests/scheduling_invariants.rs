@@ -10,7 +10,9 @@ use ndsearch::core::config::{NdsConfig, SchedulingConfig};
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
 use ndsearch::core::report::NdsReport;
-use ndsearch::serve::{QueryRequest, ServeConfig, ServeEngine, SessionState};
+use ndsearch::serve::{
+    QueryRequest, ServeConfig, ServeEngine, ServeReport, SessionState, SloPolicy,
+};
 use ndsearch::vector::synthetic::DatasetSpec;
 use ndsearch::vector::DistanceKind;
 
@@ -298,6 +300,111 @@ fn deadline_boundary_is_exact_at_completion_and_expiry() {
         instant.outcomes[0].hops, 0,
         "deadline == now must not buy an extra round"
     );
+}
+
+/// Builds a serving engine with the given SLO policy and submits every
+/// query with a per-query tenant and deadline.
+fn serve_slo_run(
+    fx: &Fixture,
+    queries: &ndsearch::vector::Dataset,
+    medoid: u32,
+    serve: ServeConfig,
+    submit: impl Fn(usize) -> (u32, Option<u64>),
+) -> ServeReport {
+    let prepared = Prepared::stage(
+        &fx.config,
+        &fx.graph,
+        &fx.base,
+        &ndsearch::anns::trace::BatchTrace::default(),
+    );
+    let mut engine = ServeEngine::new(&fx.config, serve, &prepared, &fx.base, &fx.graph);
+    for (i, (_, q)) in queries.iter().enumerate() {
+        let (tenant, deadline) = submit(i);
+        let mut req = QueryRequest::at(0, q.to_vec(), vec![medoid]).tenant(tenant);
+        req.deadline_ns = deadline;
+        engine.submit(req);
+    }
+    engine.run_to_completion()
+}
+
+#[test]
+fn shed_doomed_never_sheds_a_meetable_query() {
+    // The documented shed estimator (`remaining hops × observed per-hop
+    // round cost`, optimistic before any observation) can only shed a
+    // query whose estimated finish misses its deadline. With deadlines
+    // far beyond any estimate, ShedDoomed must shed nothing and the run
+    // must be bit-identical to SloPolicy::None — same admissions, same
+    // rounds, same outcomes.
+    let (fx, queries, medoid) = serve_setup();
+    let run_with = |slo: SloPolicy| {
+        serve_slo_run(
+            &fx,
+            &queries,
+            medoid,
+            ServeConfig {
+                max_inflight: 4,
+                slo,
+                ..ServeConfig::default()
+            },
+            |_| (0, Some(1_000_000_000_000)),
+        )
+    };
+    let unshed = run_with(SloPolicy::None);
+    let shed = run_with(SloPolicy::ShedDoomed { min_slack_ns: 0 });
+    assert_eq!(shed.sheds(), 0, "meetable deadlines must never shed");
+    assert_eq!(shed, unshed, "a shed-free run must match SloPolicy::None");
+    assert_eq!(shed.completed(), queries.len());
+    assert_eq!(shed.slo_attainment(), 1.0);
+}
+
+#[test]
+fn tenant_fair_cap_is_never_exceeded_and_everyone_completes() {
+    // 24 same-instant queries submitted grouped by tenant (tenant 0
+    // first): FIFO admission hands the head tenant every slot, TenantFair
+    // must bound each tenant's in-flight share in every round while
+    // keeping the global slots fully used and completing everything.
+    let (fx, queries, medoid) = serve_setup();
+    let run_with = |slo: SloPolicy| {
+        serve_slo_run(
+            &fx,
+            &queries,
+            medoid,
+            ServeConfig {
+                max_inflight: 6,
+                slo,
+                ..ServeConfig::default()
+            },
+            |i| (i as u32 / 8, None),
+        )
+    };
+    let peak = |r: &ServeReport, t: u32| {
+        r.peak_tenant_inflight
+            .iter()
+            .find(|&&(id, _)| id == t)
+            .map_or(0, |&(_, p)| p)
+    };
+    let unfair = run_with(SloPolicy::None);
+    assert!(
+        peak(&unfair, 0) > 2,
+        "FIFO admission should let the head tenant hog slots (peak {})",
+        peak(&unfair, 0)
+    );
+    let fair = run_with(SloPolicy::TenantFair {
+        max_inflight_per_tenant: 2,
+    });
+    for t in 0..3u32 {
+        let p = peak(&fair, t);
+        assert!(p <= 2, "tenant {t} exceeded the cap: peak {p}");
+        assert!(p > 0, "tenant {t} starved");
+    }
+    assert_eq!(
+        fair.peak_inflight, 6,
+        "the cap must not strand global slots"
+    );
+    assert_eq!(fair.completed(), queries.len());
+    for o in &fair.outcomes {
+        assert_eq!(o.state, SessionState::Completed, "query {} starved", o.id);
+    }
 }
 
 #[test]
