@@ -96,6 +96,8 @@ struct Lists<'a> {
     visited: &'a mut VisitedSet,
     candidates: &'a mut BinaryHeap<Reverse<Neighbor>>,
     results: &'a mut BinaryHeap<Neighbor>,
+    /// Reused distance buffer for batched neighbor scoring.
+    scratch: &'a mut Vec<f32>,
 }
 
 impl Lists<'_> {
@@ -110,14 +112,19 @@ impl Lists<'_> {
         beam_width: usize,
         distance: DistanceKind,
     ) -> Option<IterationTrace> {
+        // Mark first, then score the new entries in one batched kernel
+        // call. Marking never depends on distances, so this is
+        // bit-identical to the per-entry eval loop it replaces.
         let mut init_visited = Vec::with_capacity(entries.len());
         for &e in entries {
             if self.visited.insert(e) {
-                let d = distance.eval(query, dataset.vector(e));
-                self.candidates.push(Reverse(Neighbor::new(d, e)));
-                self.results.push(Neighbor::new(d, e));
                 init_visited.push(e);
             }
+        }
+        distance.eval_batch_ids(query, dataset, &init_visited, self.scratch);
+        for (&e, &d) in init_visited.iter().zip(self.scratch.iter()) {
+            self.candidates.push(Reverse(Neighbor::new(d, e)));
+            self.results.push(Neighbor::new(d, e));
         }
         while self.results.len() > beam_width {
             self.results.pop();
@@ -152,13 +159,19 @@ impl Lists<'_> {
         if self.results.len() >= beam_width && current.distance > worst {
             return Expansion::Finished;
         }
+        // Score the whole unvisited slice of the neighbor list in one
+        // kernel call, then replay the insertion decisions in the original
+        // edge order. Visited-marking and scoring don't interact, and the
+        // batch reuses the per-pair kernel, so results are bit-identical
+        // to the interleaved per-edge loop this replaces.
         let mut iter_visited = Vec::new();
         for &nb in graph.neighbors(current.id) {
-            if !self.visited.insert(nb) {
-                continue;
+            if self.visited.insert(nb) {
+                iter_visited.push(nb);
             }
-            let d = distance.eval(query, dataset.vector(nb));
-            iter_visited.push(nb);
+        }
+        distance.eval_batch_ids(query, dataset, &iter_visited, self.scratch);
+        for (&nb, &d) in iter_visited.iter().zip(self.scratch.iter()) {
             let worst = self
                 .results
                 .peek()
@@ -205,11 +218,13 @@ pub fn beam_search(
     // by beam_width (ef).
     let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
     let mut results: BinaryHeap<Neighbor> = BinaryHeap::new();
+    let mut scratch: Vec<f32> = Vec::new();
 
     let mut lists = Lists {
         visited,
         candidates: &mut candidates,
         results: &mut results,
+        scratch: &mut scratch,
     };
 
     // The initial entry vertices count as visited/computed: record them as
@@ -259,6 +274,7 @@ pub struct BeamSearcher {
     visited: VisitedSet,
     candidates: BinaryHeap<Reverse<Neighbor>>,
     results: BinaryHeap<Neighbor>,
+    scratch: Vec<f32>,
     seeded: bool,
     finished: bool,
     hops: usize,
@@ -286,6 +302,7 @@ impl BeamSearcher {
             visited: VisitedSet::new(num_vertices),
             candidates: BinaryHeap::new(),
             results: BinaryHeap::new(),
+            scratch: Vec::new(),
             seeded: false,
             finished: false,
             hops: 0,
@@ -307,6 +324,7 @@ impl BeamSearcher {
             visited: &mut self.visited,
             candidates: &mut self.candidates,
             results: &mut self.results,
+            scratch: &mut self.scratch,
         };
         if !self.seeded {
             self.seeded = true;
@@ -393,12 +411,13 @@ pub fn greedy_descent(
     trace: &mut QueryTrace,
 ) -> Neighbor {
     let mut current = Neighbor::new(distance.eval(query, dataset.vector(entry)), entry);
+    let mut scratch: Vec<f32> = Vec::new();
     loop {
         let mut best = current;
-        let mut iter_visited = Vec::new();
-        for &nb in graph.neighbors(current.id) {
-            let d = distance.eval(query, dataset.vector(nb));
-            iter_visited.push(nb);
+        // One batched kernel call per expansion instead of per-edge eval.
+        let iter_visited: Vec<VectorId> = graph.neighbors(current.id).to_vec();
+        distance.eval_batch_ids(query, dataset, &iter_visited, &mut scratch);
+        for (&nb, &d) in iter_visited.iter().zip(&scratch) {
             let cand = Neighbor::new(d, nb);
             if cand < best {
                 best = cand;

@@ -396,15 +396,16 @@ fn greedy_upper_inner(
     trace: &mut QueryTrace,
 ) -> VectorId {
     let mut cur = Neighbor::new(dist.eval(query, base.vector(entry)), entry);
+    let mut scratch: Vec<f32> = Vec::new();
     loop {
         let Some(neighbors) = adj.lists.get(&cur.id) else {
             return cur.id;
         };
         let mut best = cur;
-        let mut visited = Vec::new();
-        for &nb in neighbors {
-            let d = dist.eval(query, base.vector(nb));
-            visited.push(nb);
+        // One batched kernel call per expansion instead of per-edge eval.
+        let visited: Vec<VectorId> = neighbors.clone();
+        dist.eval_batch_ids(query, base, &visited, &mut scratch);
+        for (&nb, &d) in visited.iter().zip(&scratch) {
             let c = Neighbor::new(d, nb);
             if c < best {
                 best = c;
@@ -444,16 +445,23 @@ where
     visited.insert(entry);
     candidates.push(Reverse(Neighbor::new(d0, entry)));
     results.push(Neighbor::new(d0, entry));
+    let mut fresh: Vec<VectorId> = Vec::new();
+    let mut scratch: Vec<f32> = Vec::new();
     while let Some(Reverse(cur)) = candidates.pop() {
         let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
         if results.len() >= ef && cur.distance > worst {
             break;
         }
+        // Mark, batch-score, then replay insertions in edge order
+        // (bit-identical to the per-edge eval loop; see anns::beam).
+        fresh.clear();
         for &nb in neighbors_of(cur.id) {
-            if !visited.insert(nb) {
-                continue;
+            if visited.insert(nb) {
+                fresh.push(nb);
             }
-            let d = dist.eval(query, base.vector(nb));
+        }
+        dist.eval_batch_ids(query, base, &fresh, &mut scratch);
+        for (&nb, &d) in fresh.iter().zip(&scratch) {
             let worst = results.peek().map(|n| n.distance).unwrap_or(f32::INFINITY);
             if results.len() < ef || d < worst {
                 candidates.push(Reverse(Neighbor::new(d, nb)));

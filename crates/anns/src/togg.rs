@@ -108,10 +108,16 @@ impl Togg {
 
     /// Stage 1: pick the `entry_fanout` pilots nearest to the query.
     pub fn guided_entries(&self, base: &Dataset, query: &[f32]) -> Vec<VectorId> {
+        // One batched kernel call over the whole pilot table.
+        let mut dists: Vec<f32> = Vec::new();
+        self.params
+            .distance
+            .eval_batch_ids(query, base, &self.pilots, &mut dists);
         let mut scored: Vec<Neighbor> = self
             .pilots
             .iter()
-            .map(|&p| Neighbor::new(self.params.distance.eval(query, base.vector(p)), p))
+            .zip(&dists)
+            .map(|(&p, &d)| Neighbor::new(d, p))
             .collect();
         scored.sort_unstable();
         scored

@@ -309,16 +309,23 @@ fn search_collect(
     frontier.push(Reverse(Neighbor::new(d0, entry)));
     results.push(Neighbor::new(d0, entry));
     pool.push(Neighbor::new(d0, entry));
+    let mut fresh: Vec<VectorId> = Vec::new();
+    let mut scratch: Vec<f32> = Vec::new();
     while let Some(Reverse(cur)) = frontier.pop() {
         let worst = results.peek().map(|x| x.distance).unwrap_or(f32::INFINITY);
         if results.len() >= l && cur.distance > worst {
             break;
         }
+        // Mark, batch-score, then replay insertions in edge order
+        // (bit-identical to the per-edge eval loop; see anns::beam).
+        fresh.clear();
         for &nb in &adj[cur.id as usize] {
-            if !seen.insert(nb) {
-                continue;
+            if seen.insert(nb) {
+                fresh.push(nb);
             }
-            let d = dist.eval(query, base.vector(nb));
+        }
+        dist.eval_batch_ids(query, base, &fresh, &mut scratch);
+        for (&nb, &d) in fresh.iter().zip(&scratch) {
             pool.push(Neighbor::new(d, nb));
             let worst = results.peek().map(|x| x.distance).unwrap_or(f32::INFINITY);
             if results.len() < l || d < worst {

@@ -11,9 +11,12 @@ use ndsearch_graph::csr::Csr;
 use ndsearch_graph::luncsr::LunCsr;
 use ndsearch_graph::mapping::{PlacementPolicy, VertexMapping};
 use ndsearch_graph::reorder::ReorderMethod;
-use ndsearch_vector::distance::{angular, l2_squared, neg_inner_product};
+use ndsearch_vector::distance::{
+    angular, l2_squared, l2_squared_scalar, l2_squared_unrolled, neg_inner_product, DistanceKind,
+};
 use ndsearch_vector::rng::Pcg32;
 use ndsearch_vector::topk::{Neighbor, TopK};
+use ndsearch_vector::Dataset;
 
 fn random_vec(rng: &mut Pcg32, dim: usize) -> Vec<f32> {
     (0..dim).map(|_| rng.next_f32()).collect()
@@ -34,6 +37,49 @@ fn bench_distances(c: &mut Criterion) {
         bch.iter(|| neg_inner_product(black_box(&a), black_box(&b)))
     });
     g.finish();
+}
+
+/// L2 kernel-tier sweep: the old scalar loop vs the portable unrolled
+/// kernel vs batched dispatch (AVX2/FMA when the host has it and
+/// `NDSEARCH_NO_SIMD` is unset), at the paper-relevant dims (64/256
+/// power-of-two shapes, sift-style 128, gist-style 960).
+fn bench_kernel_sweep(c: &mut Criterion) {
+    const BATCH: usize = 64;
+    let mut rng = Pcg32::seed_from_u64(11);
+    for dim in [64usize, 128, 256, 960] {
+        let q = random_vec(&mut rng, dim);
+        let rows: Vec<Vec<f32>> = (0..BATCH).map(|_| random_vec(&mut rng, dim)).collect();
+        let ds = Dataset::from_rows(dim, rows).unwrap();
+        let ids: Vec<u32> = (0..BATCH as u32).collect();
+        let mut g = c.benchmark_group(format!("l2_kernels_{dim}d"));
+        // Per-batch timings so all three variants score BATCH points.
+        g.bench_function("scalar", |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for &id in &ids {
+                    acc += l2_squared_scalar(black_box(&q), black_box(ds.vector(id)));
+                }
+                acc
+            })
+        });
+        g.bench_function("unrolled", |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for &id in &ids {
+                    acc += l2_squared_unrolled(black_box(&q), black_box(ds.vector(id)));
+                }
+                acc
+            })
+        });
+        g.bench_function("batched", |bch| {
+            let mut out: Vec<f32> = Vec::with_capacity(BATCH);
+            bch.iter(|| {
+                DistanceKind::L2.eval_batch_ids(black_box(&q), &ds, &ids, &mut out);
+                out.iter().sum::<f32>()
+            })
+        });
+        g.finish();
+    }
 }
 
 fn bench_sorts(c: &mut Criterion) {
@@ -127,6 +173,7 @@ fn bench_luncsr_inference(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_distances,
+    bench_kernel_sweep,
     bench_sorts,
     bench_topk,
     bench_reorder,

@@ -1,0 +1,142 @@
+//! Distance-kernel tier sweep: scalar reference vs portable unrolled vs
+//! batched dispatch (AVX2/FMA when the host supports it and
+//! `NDSEARCH_NO_SIMD` is unset), across the paper-relevant dimensions
+//! (64/256 power-of-two shapes, sift-style 128, gist-style 960).
+//!
+//! Each variant scores the same 64-point batch against one query; the
+//! reported figure is nanoseconds per scored point (best of several
+//! timed runs, so background noise inflates nothing). The binary asserts
+//! in-process that the batched kernel beats the scalar reference by at
+//! least 4x on 128d — the headline target for this optimisation — and
+//! writes a machine-readable `BENCH_kernels.json` snapshot.
+//!
+//! Scale knobs: `NDS_BATCH` (points per batch), `NDS_MS` (target
+//! milliseconds per timed run), `NDS_BENCH_JSON` (snapshot path, default
+//! `BENCH_kernels.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ndsearch_bench::{env_usize, f, print_table};
+use ndsearch_vector::distance::{l2_squared_scalar, l2_squared_unrolled, simd_enabled};
+use ndsearch_vector::rng::Pcg32;
+use ndsearch_vector::{Dataset, DistanceKind, VectorId};
+
+const DIMS: [usize; 4] = [64, 128, 256, 960];
+
+/// Times `run` (one whole-batch scoring pass) often enough to fill
+/// roughly `target_ms` of wall clock, three times over, and returns the
+/// best-run nanoseconds per scored point.
+fn time_per_point(batch: usize, target_ms: usize, mut run: impl FnMut() -> f32) -> f64 {
+    // Calibrate the iteration count from a short pilot run.
+    let pilot = Instant::now();
+    let mut sink = 0.0f32;
+    for _ in 0..8 {
+        sink += run();
+    }
+    let pilot_ns = (pilot.elapsed().as_nanos() as f64 / 8.0).max(1.0);
+    let iters = ((target_ms as f64 * 1e6 / pilot_ns).ceil() as usize).max(8);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink += run();
+        }
+        let per_point = t.elapsed().as_nanos() as f64 / (iters as f64 * batch as f64);
+        best = best.min(per_point);
+    }
+    black_box(sink);
+    best
+}
+
+fn main() {
+    let batch = env_usize("NDS_BATCH", 64);
+    let target_ms = env_usize("NDS_MS", 20);
+    let mut rng = Pcg32::seed_from_u64(0x5eed);
+    let mut rows = Vec::new();
+    let mut snapshot = Vec::new();
+    let mut speedup_batched_128d = 0.0f64;
+
+    for dim in DIMS {
+        let q: Vec<f32> = (0..dim).map(|_| rng.next_f32()).collect();
+        let points: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect())
+            .collect();
+        let ds = Dataset::from_rows(dim, points).unwrap();
+        let ids: Vec<VectorId> = (0..batch as VectorId).collect();
+
+        let scalar_ns = time_per_point(batch, target_ms, || {
+            let mut acc = 0.0f32;
+            for &id in &ids {
+                acc += l2_squared_scalar(black_box(&q), black_box(ds.vector(id)));
+            }
+            acc
+        });
+        let unrolled_ns = time_per_point(batch, target_ms, || {
+            let mut acc = 0.0f32;
+            for &id in &ids {
+                acc += l2_squared_unrolled(black_box(&q), black_box(ds.vector(id)));
+            }
+            acc
+        });
+        let mut out: Vec<f32> = Vec::with_capacity(batch);
+        let batched_ns = time_per_point(batch, target_ms, || {
+            DistanceKind::L2.eval_batch_ids(black_box(&q), &ds, &ids, &mut out);
+            out.iter().sum::<f32>()
+        });
+
+        let su_unrolled = scalar_ns / unrolled_ns;
+        let su_batched = scalar_ns / batched_ns;
+        if dim == 128 {
+            speedup_batched_128d = su_batched;
+        }
+        rows.push(vec![
+            dim.to_string(),
+            f(scalar_ns, 2),
+            f(unrolled_ns, 2),
+            f(batched_ns, 2),
+            f(su_unrolled, 2),
+            f(su_batched, 2),
+        ]);
+        snapshot.push(format!(
+            "{{\"dim\": {dim}, \"scalar_ns_per_point\": {:.3}, \
+             \"unrolled_ns_per_point\": {:.3}, \"batched_ns_per_point\": {:.3}, \
+             \"speedup_unrolled\": {:.2}, \"speedup_batched\": {:.2}}}",
+            scalar_ns, unrolled_ns, batched_ns, su_unrolled, su_batched,
+        ));
+    }
+
+    print_table(
+        &format!(
+            "L2 kernel tiers, ns per scored point ({batch}-point batches, simd={})",
+            simd_enabled()
+        ),
+        &[
+            "dim", "scalar", "unrolled", "batched", "x unroll", "x batch",
+        ],
+        &rows,
+    );
+
+    // The headline gate: batched dispatch must beat the scalar reference
+    // by >= 4x on the sift-style 128d shape.
+    assert!(
+        speedup_batched_128d >= 4.0,
+        "batched 128d speedup {speedup_batched_128d:.2} below the 4x target"
+    );
+    println!("\n128d batched speedup {speedup_batched_128d:.2}x (target >= 4x): ok");
+
+    // ---- Machine-readable snapshot for the perf trajectory. ----
+    let path = std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"batch\": {batch},\n  \"simd\": {simd},\n  \
+         \"dims\": [\n    {rows}\n  ],\n  \"speedup_batched_128d\": {su:.2}\n}}\n",
+        batch = batch,
+        simd = simd_enabled(),
+        rows = snapshot.join(",\n    "),
+        su = speedup_batched_128d,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote bench snapshot to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

@@ -140,8 +140,9 @@ use crate::config::NdsConfig;
 use crate::deploy::{Deployment, UpdateTotals};
 use crate::report::LatencySummary;
 use crate::serve::{
-    run_serve_job, QueryId, QueryOutcome, QueryRequest, ServeConfig, ServeEngine, ServeJob,
-    ServeReport, SessionState, UpdateId, UpdateOp, UpdateOutcome, UpdateRequest,
+    run_serve_job, QueryId, QueryOutcome, QueryRequest, RoundPrep, ServeConfig, ServeEngine,
+    ServeJob, ServeOut, ServeReport, SessionState, UpdateId, UpdateOp, UpdateOutcome,
+    UpdateRequest, HOP_PARALLEL_MIN,
 };
 
 /// Identifier of a cluster query session (dense, submission order).
@@ -1156,13 +1157,48 @@ impl<'a> ClusterEngine<'a> {
                 // round they degrade (an event at t=0 hits a device that
                 // has served nothing).
                 let mut more = self.fire_due_failures();
+
+                // Phase 1: begin every alive replica's round in step
+                // order, concatenating the per-engine hop batches.
+                let mut pending: Vec<(usize, usize, RoundPrep)> = Vec::new();
+                let mut all_jobs: Vec<ServeJob> = Vec::new();
+                let mut counts: Vec<usize> = Vec::new();
                 for &s in order {
                     if let Some(shard) = self.shards[s].as_mut() {
-                        for rep in shard.replicas.iter_mut().filter(|r| r.alive) {
-                            more |= rep.engine.step_with(Some(&mut *pool));
+                        for (ri, rep) in shard.replicas.iter_mut().enumerate() {
+                            if !rep.alive {
+                                continue;
+                            }
+                            if let Some(mut prep) = rep.engine.begin_round() {
+                                let jobs = std::mem::take(&mut prep.jobs);
+                                counts.push(jobs.len());
+                                all_jobs.extend(jobs);
+                                pending.push((s, ri, prep));
+                            }
                         }
                     }
                 }
+
+                // Phase 2: every replica's hop stage as ONE pool round.
+                // Hop jobs are pure functions of the round-boundary
+                // snapshots they carry and come back in job order, so
+                // merging batches across engines changes where the work
+                // runs, never what any engine observes.
+                let mut outs = pool.run_with_min(all_jobs, HOP_PARALLEL_MIN).into_iter();
+
+                // Phase 3: finish each round in the same order, handing
+                // every engine its slice of the merged outputs (LUN
+                // stages stay per-engine: their jobs derive from these
+                // hop outputs, so they cannot legally merge with them).
+                for ((s, ri, prep), count) in pending.into_iter().zip(counts) {
+                    let engine_outs: Vec<ServeOut> = outs.by_ref().take(count).collect();
+                    let shard = self.shards[s].as_mut().expect("round began on this shard");
+                    more |=
+                        shard.replicas[ri]
+                            .engine
+                            .finish_round(prep, engine_outs, Some(&mut *pool));
+                }
+
                 more |= self.fire_hedges();
                 if !more {
                     break;

@@ -103,6 +103,10 @@ pub struct Pool<'f, J: Send, R: Send> {
     workers: Vec<Sender<(usize, Vec<J>)>>,
     /// Shared reply channel; `None` in inline mode.
     back: Option<Receiver<Reply<R>>>,
+    /// Reused reply-reassembly buffer (one entry per worker chunk), so a
+    /// round's reassembly allocates only the output vector instead of an
+    /// `n`-slot `Option` table per run.
+    replies: Vec<(usize, Vec<R>)>,
 }
 
 impl<J: Send, R: Send> Pool<'_, J, R> {
@@ -147,18 +151,23 @@ impl<J: Send, R: Send> Pool<'_, J, R> {
             .back
             .as_ref()
             .expect("parallel pool has a reply channel");
-        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-        out.resize_with(n, || None);
+        // Inline reply aggregation: collect the k chunk replies into the
+        // reused buffer, restore job order by base index (chunks are
+        // contiguous and disjoint, so a k-entry sort suffices), and move
+        // the chunks into the output.
+        self.replies.clear();
         for _ in 0..k {
             let (base, reply) = back.recv().expect("exec pool worker died");
             let results = reply.expect("exec pool job panicked on a worker");
-            for (offset, r) in results.into_iter().enumerate() {
-                out[base + offset] = Some(r);
-            }
+            self.replies.push((base, results));
         }
-        out.into_iter()
-            .map(|r| r.expect("every chunk was reassembled"))
-            .collect()
+        self.replies.sort_unstable_by_key(|&(base, _)| base);
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        for (_, chunk) in self.replies.drain(..) {
+            out.extend(chunk);
+        }
+        debug_assert_eq!(out.len(), n, "every chunk was reassembled");
+        out
     }
 }
 
@@ -201,6 +210,7 @@ where
             f: &f,
             workers: Vec::new(),
             back: None,
+            replies: Vec::new(),
         });
     }
     std::thread::scope(|scope| {
@@ -238,6 +248,7 @@ where
             f: &f,
             workers,
             back: Some(back_rx),
+            replies: Vec::with_capacity(threads),
         };
         let out = body(&mut pool);
         // Dropping the pool closes the job channels; workers drain and
@@ -311,6 +322,24 @@ mod tests {
         let jobs: Vec<usize> = (0..257).collect();
         let got = with_pool(7, |u: usize| u, |pool| pool.run(jobs.clone()));
         assert_eq!(got, jobs);
+    }
+
+    #[test]
+    fn reply_buffer_reuse_keeps_job_order_across_rounds() {
+        // The reply buffer persists across `run` calls; rounds of varying
+        // size (different k, different chunkings, inline small rounds in
+        // between) must each reassemble in job order.
+        with_pool(
+            5,
+            |u: usize| u.wrapping_mul(7),
+            |pool| {
+                for n in [257usize, 16, 3, 100, 5, 64, 1, 33] {
+                    let jobs: Vec<usize> = (0..n).collect();
+                    let want: Vec<usize> = jobs.iter().map(|&u| u.wrapping_mul(7)).collect();
+                    assert_eq!(pool.run_with_min(jobs, 4), want, "n = {n}");
+                }
+            },
+        );
     }
 
     #[test]

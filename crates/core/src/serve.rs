@@ -112,7 +112,7 @@ use crate::sin::{process_lun_work, LunJob, LunOutcome};
 /// Minimum in-flight hops before the hop stage fans out over workers
 /// (hop jobs — one beam expansion plus relabeling — are much heavier
 /// than per-LUN units, so they amortize the hand-off sooner).
-const HOP_PARALLEL_MIN: usize = 8;
+pub(crate) const HOP_PARALLEL_MIN: usize = 8;
 
 /// Job type of the serving pool: one scheduling round first advances
 /// every in-flight session's beam search (`Hop` jobs — independent per
@@ -167,6 +167,24 @@ pub(crate) enum ServeOut {
 /// The serving pool: hop and LUN jobs in, outcomes out. The cluster tier
 /// ([`crate::cluster`]) shares one pool across every shard's engine.
 pub(crate) type ServePool<'f> = Pool<'f, ServeJob, ServeOut>;
+
+/// The prepared first half of one engine's scheduling round: the hop jobs
+/// (one per in-flight session, slot order) plus the round-boundary
+/// snapshots `finish_round` needs. Produced by `ServeEngine::begin_round`;
+/// the cluster tier takes the jobs, merges them across replicas into one
+/// pool round, and hands each engine its slice of the outputs back.
+pub(crate) struct RoundPrep {
+    /// Hop jobs in admission (slot) order; taken by the dispatcher.
+    pub(crate) jobs: Vec<ServeJob>,
+    /// PCIe transfer-in time charged by this round's admissions.
+    t_in: Nanos,
+    /// Round-boundary dataset snapshot.
+    dataset: Arc<Dataset>,
+    /// Round-boundary live-graph snapshot.
+    graph: Arc<Csr>,
+    /// Round-boundary staged-overlay snapshot.
+    prepared: Arc<Prepared>,
+}
 
 /// Evaluates one serving job (worker threads and the inline path share
 /// this function, so both produce identical results). All world state
@@ -1233,6 +1251,32 @@ impl<'a> ServeEngine<'a> {
     }
 
     fn step_round_inner(&mut self, mut pool: Option<&mut ServePool<'_>>) -> bool {
+        let Some(mut prep) = self.begin_round() else {
+            return false;
+        };
+        // ---- Ship the round's hop stage as one pre-chunked batch. The
+        // cluster tier calls `begin_round`/`finish_round` directly instead
+        // and merges many engines' hop batches into a single pool round.
+        let config = self.config;
+        let jobs = std::mem::take(&mut prep.jobs);
+        let outs: Vec<ServeOut> = match pool.as_deref_mut() {
+            Some(pool) => pool.run_with_min(jobs, HOP_PARALLEL_MIN),
+            None => jobs.into_iter().map(|j| run_serve_job(j, config)).collect(),
+        };
+        self.finish_round(prep, outs, pool)
+    }
+
+    /// First half of a scheduling round: arrivals, expiry, SLO shedding,
+    /// round-boundary snapshots and admission, ending with the round's hop
+    /// jobs built but not yet executed. Returns `None` when the engine is
+    /// fully drained (no work now or ever — the old `false` return).
+    ///
+    /// Splitting the round here lets [`crate::cluster`] collect every
+    /// replica's hop jobs and run them as **one** pool round: hop jobs are
+    /// pure functions of their round-boundary snapshots, so merging
+    /// batches across engines changes where they run, never what they
+    /// return.
+    pub(crate) fn begin_round(&mut self) -> Option<RoundPrep> {
         // Updates applied at the end of the previous round become visible
         // here — one graph re-snapshot per round, not per update (and the
         // snapshot is fresh even when this call ends up idle-returning).
@@ -1246,9 +1290,7 @@ impl<'a> ServeEngine<'a> {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
-            let Some(t) = next else {
-                return false;
-            };
+            let t = next?;
             self.now_ns = self.now_ns.max(t);
             self.process_arrivals();
         }
@@ -1325,7 +1367,6 @@ impl<'a> ServeEngine<'a> {
         // steps are independent per session, so they fan out over the
         // worker pool; results come back in slot order, keeping the
         // round bit-identical to the sequential path. ----
-        let config = self.config;
         let mut jobs: Vec<ServeJob> = Vec::with_capacity(self.inflight.len());
         for (slot, &id) in self.inflight.iter().enumerate() {
             let s = &mut self.sessions[id];
@@ -1339,10 +1380,32 @@ impl<'a> ServeEngine<'a> {
                 prepared: Arc::clone(&prepared),
             });
         }
-        let outs: Vec<ServeOut> = match pool.as_deref_mut() {
-            Some(pool) => pool.run_with_min(jobs, HOP_PARALLEL_MIN),
-            None => jobs.into_iter().map(|j| run_serve_job(j, config)).collect(),
-        };
+        Some(RoundPrep {
+            jobs,
+            t_in,
+            dataset,
+            graph,
+            prepared,
+        })
+    }
+
+    /// Second half of a scheduling round: consumes the hop-stage outputs
+    /// (in job order), executes the merged round's LUN stage (on `pool`
+    /// when provided), advances the clock, completes sessions and applies
+    /// queued updates. Returns whether any work remains.
+    pub(crate) fn finish_round(
+        &mut self,
+        prep: RoundPrep,
+        outs: Vec<ServeOut>,
+        pool: Option<&mut ServePool<'_>>,
+    ) -> bool {
+        let RoundPrep {
+            jobs: _,
+            t_in,
+            dataset,
+            graph,
+            prepared,
+        } = prep;
         let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
         let mut finished: Vec<QueryId> = Vec::new();
         for out in outs {

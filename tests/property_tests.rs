@@ -13,8 +13,28 @@ use ndsearch::graph::csr::Csr;
 use ndsearch::graph::luncsr::LunCsr;
 use ndsearch::graph::mapping::{PlacementPolicy, VertexMapping};
 use ndsearch::graph::reorder::{bandwidth, Permutation, ReorderMethod};
-use ndsearch::vector::distance::{angular, l2_squared};
+use ndsearch::vector::distance::{
+    angular, dot, dot_scalar, dot_unrolled, l2_squared, l2_squared_scalar, l2_squared_unrolled,
+    DistanceKind,
+};
 use ndsearch::vector::topk::{Neighbor, TopK};
+
+/// The kernel-equivalence dims: every in-register shape (1..=8), the two
+/// bench dims, and an odd length that exercises the 32-, 8- and scalar-tail
+/// paths at once.
+const KERNEL_DIMS: [usize; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 64, 128, 257];
+
+/// Distance in units-in-the-last-place between two same-sign finite floats.
+fn ulp_diff(a: f32, b: f32) -> u64 {
+    if a == b {
+        return 0;
+    }
+    let ia = a.to_bits() as i64;
+    let ib = b.to_bits() as i64;
+    let ma = if ia < 0 { i32::MIN as i64 - ia } else { ia };
+    let mb = if ib < 0 { i32::MIN as i64 - ib } else { ib };
+    (ma - mb).unsigned_abs()
+}
 
 proptest! {
     #[test]
@@ -60,6 +80,107 @@ proptest! {
     ) {
         let d = angular(&a, &b);
         prop_assert!((0.0..=2.0 + 1e-6).contains(&d), "d = {}", d);
+    }
+
+    // ---- Kernel-tier equivalence: scalar vs unrolled vs dispatched
+    // (AVX2/FMA when available) must agree within 16 ulp on every dim
+    // shape, including odd tails. L2 terms are squares (always positive),
+    // so any input range is cancellation-free.
+    #[test]
+    fn l2_kernel_tiers_agree_within_16_ulp(
+        raw_a in proptest::collection::vec(-100.0f32..100.0, 257),
+        raw_b in proptest::collection::vec(-100.0f32..100.0, 257),
+        di in 0usize..11,
+    ) {
+        let dim = KERNEL_DIMS[di];
+        let (a, b) = (&raw_a[..dim], &raw_b[..dim]);
+        let scalar = l2_squared_scalar(a, b);
+        prop_assert!(ulp_diff(scalar, l2_squared_unrolled(a, b)) <= 16, "unrolled, dim {}", dim);
+        prop_assert!(ulp_diff(scalar, l2_squared(a, b)) <= 16, "dispatched, dim {}", dim);
+        // The public eval entry point uses the dispatched kernel verbatim.
+        prop_assert_eq!(DistanceKind::L2.eval(a, b).to_bits(), l2_squared(a, b).to_bits());
+    }
+
+    // Dot-family tiers (inner product and the three reductions inside
+    // angular) are compared on positive components: with mixed signs the
+    // result can be arbitrarily close to zero while the partial sums are
+    // huge, so "N ulp of the result" is unbounded for *any* reordering —
+    // cancellation, not kernel error. Positive operands make the sum
+    // well-conditioned and the 16-ulp bound meaningful.
+    #[test]
+    fn dot_and_angular_kernel_tiers_agree_within_16_ulp(
+        raw_a in proptest::collection::vec(0.01f32..1.0, 257),
+        raw_b in proptest::collection::vec(0.01f32..1.0, 257),
+        di in 0usize..11,
+    ) {
+        let dim = KERNEL_DIMS[di];
+        let (a, b) = (&raw_a[..dim], &raw_b[..dim]);
+        let scalar = dot_scalar(a, b);
+        prop_assert!(ulp_diff(scalar, dot_unrolled(a, b)) <= 16, "unrolled, dim {}", dim);
+        prop_assert!(ulp_diff(scalar, dot(a, b)) <= 16, "dispatched, dim {}", dim);
+        // Angular is three dispatched dots plus well-conditioned scalar
+        // arithmetic; compare against a scalar-kernel reconstruction.
+        let ang_scalar = {
+            let d = dot_scalar(a, b);
+            let na = dot_scalar(a, a).sqrt();
+            let nb = dot_scalar(b, b).sqrt();
+            1.0 - (d / (na * nb)).clamp(-1.0, 1.0)
+        };
+        let ang = angular(a, b);
+        prop_assert!(
+            (ang - ang_scalar).abs() <= 1e-5,
+            "angular dim {}: {} vs {}", dim, ang, ang_scalar
+        );
+    }
+
+    // `eval_batch` / `eval_batch_ids` must match per-pair `eval`
+    // element-wise, bit for bit, for every DistanceKind.
+    #[test]
+    fn eval_batch_matches_eval_elementwise(
+        flat in proptest::collection::vec(0.01f32..1.0, 257 * 5),
+        q_raw in proptest::collection::vec(0.01f32..1.0, 257),
+        di in 0usize..11,
+    ) {
+        let dim = KERNEL_DIMS[di];
+        let q = &q_raw[..dim];
+        let rows: Vec<&[f32]> = (0..5).map(|i| &flat[i * 257..i * 257 + dim]).collect();
+        let ds = ndsearch::vector::Dataset::from_rows(
+            dim,
+            rows.iter().map(|r| r.to_vec()).collect(),
+        ).unwrap();
+        let ids: Vec<u32> = vec![4, 0, 2, 2, 1, 3];
+        for kind in DistanceKind::ALL {
+            let mut out = vec![0.0f32; rows.len()];
+            kind.eval_batch(q, &rows, &mut out);
+            for (p, got) in rows.iter().zip(&out) {
+                prop_assert_eq!(got.to_bits(), kind.eval(q, p).to_bits());
+            }
+            let mut by_id = Vec::new();
+            kind.eval_batch_ids(q, &ds, &ids, &mut by_id);
+            for (&id, got) in ids.iter().zip(&by_id) {
+                prop_assert_eq!(got.to_bits(), kind.eval(q, ds.vector(id)).to_bits());
+            }
+        }
+    }
+
+    // Zero vectors are maximally distant under angular in every tier and
+    // both batch entry points (exactly 1.0, no ulp slack).
+    #[test]
+    fn angular_zero_vector_is_exactly_one_in_every_tier(
+        b_raw in proptest::collection::vec(0.01f32..1.0, 257),
+        di in 0usize..11,
+    ) {
+        let dim = KERNEL_DIMS[di];
+        let zeros = vec![0.0f32; dim];
+        let b = &b_raw[..dim];
+        prop_assert_eq!(angular(&zeros, b), 1.0);
+        prop_assert_eq!(angular(b, &zeros), 1.0);
+        prop_assert_eq!(DistanceKind::Angular.eval(&zeros, b), 1.0);
+        let mut out = vec![f32::NAN; 2];
+        DistanceKind::Angular.eval_batch(&zeros, &[b, &zeros], &mut out);
+        prop_assert_eq!(out.clone(), vec![1.0, 1.0]);
+        DistanceKind::Angular.eval_batch(b, &[&zeros], &mut out[..1]);
+        prop_assert_eq!(out[0], 1.0);
     }
 
     #[test]
