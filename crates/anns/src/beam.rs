@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ndsearch_graph::csr::Csr;
-use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::quant::ScoreSource;
 use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
@@ -104,9 +104,9 @@ impl Lists<'_> {
     /// Seeds the candidate/result lists with the entry vertices and
     /// returns iteration 0 of the trace (the entries count as
     /// visited/computed), or `None` if no entry was new.
-    fn seed(
+    fn seed<S: ScoreSource + ?Sized>(
         &mut self,
-        dataset: &Dataset,
+        source: &S,
         query: &[f32],
         entries: &[VectorId],
         beam_width: usize,
@@ -121,7 +121,7 @@ impl Lists<'_> {
                 init_visited.push(e);
             }
         }
-        distance.eval_batch_ids(query, dataset, &init_visited, self.scratch);
+        source.score_batch(distance, query, &init_visited, self.scratch);
         for (&e, &d) in init_visited.iter().zip(self.scratch.iter()) {
             self.candidates.push(Reverse(Neighbor::new(d, e)));
             self.results.push(Neighbor::new(d, e));
@@ -138,9 +138,9 @@ impl Lists<'_> {
     /// Pops the closest candidate and expands its neighbor list — the loop
     /// body of §II-A, shared by the run-to-completion [`beam_search`] and
     /// the per-hop [`BeamSearcher`].
-    fn expand_next(
+    fn expand_next<S: ScoreSource + ?Sized>(
         &mut self,
-        dataset: &Dataset,
+        source: &S,
         graph: &Csr,
         query: &[f32],
         beam_width: usize,
@@ -170,7 +170,7 @@ impl Lists<'_> {
                 iter_visited.push(nb);
             }
         }
-        distance.eval_batch_ids(query, dataset, &iter_visited, self.scratch);
+        source.score_batch(distance, query, &iter_visited, self.scratch);
         for (&nb, &d) in iter_visited.iter().zip(self.scratch.iter()) {
             let worst = self
                 .results
@@ -199,10 +199,15 @@ impl Lists<'_> {
 /// Greedy beam search over `graph` from `entries`, retaining the best
 /// `beam_width` results.
 ///
+/// Generic over the [`ScoreSource`] candidates are scored against: the
+/// full-precision `Dataset` (the classic path) or a DRAM-resident
+/// `QuantCodes` table (compressed-vector traversal; the serving layer
+/// reranks the final candidates against the dataset afterwards).
+///
 /// # Panics
 /// Panics if `beam_width == 0` or an entry id is out of range.
-pub fn beam_search(
-    dataset: &Dataset,
+pub fn beam_search<S: ScoreSource + ?Sized>(
+    source: &S,
     graph: &Csr,
     query: &[f32],
     entries: &[VectorId],
@@ -229,7 +234,7 @@ pub fn beam_search(
 
     // The initial entry vertices count as visited/computed: record them as
     // iteration 0 with a synthetic entry (the first entry vertex).
-    let Some(seed) = lists.seed(dataset, query, entries, beam_width, distance) else {
+    let Some(seed) = lists.seed(source, query, entries, beam_width, distance) else {
         return BeamResult {
             found: Vec::new(),
             trace,
@@ -238,7 +243,7 @@ pub fn beam_search(
     trace.iterations.push(seed);
 
     loop {
-        match lists.expand_next(dataset, graph, query, beam_width, distance) {
+        match lists.expand_next(source, graph, query, beam_width, distance) {
             Expansion::Finished => break,
             Expansion::Empty => {}
             Expansion::Hop(it) => trace.iterations.push(it),
@@ -316,7 +321,15 @@ impl BeamSearcher {
     /// at least one vector. Termination is detected eagerly: after the
     /// final productive hop, [`is_finished`](Self::is_finished) is already
     /// `true`.
-    pub fn step(&mut self, dataset: &Dataset, graph: &Csr) -> Option<IterationTrace> {
+    ///
+    /// Generic over the [`ScoreSource`] (full-precision rows or a
+    /// compressed code table); a searcher must be driven against the same
+    /// source for its whole lifetime.
+    pub fn step<S: ScoreSource + ?Sized>(
+        &mut self,
+        source: &S,
+        graph: &Csr,
+    ) -> Option<IterationTrace> {
         if self.finished {
             return None;
         }
@@ -329,7 +342,7 @@ impl BeamSearcher {
         if !self.seeded {
             self.seeded = true;
             let seed = lists.seed(
-                dataset,
+                source,
                 &self.query,
                 &self.entries,
                 self.beam_width,
@@ -348,7 +361,7 @@ impl BeamSearcher {
             };
         }
         loop {
-            match lists.expand_next(dataset, graph, &self.query, self.beam_width, self.distance) {
+            match lists.expand_next(source, graph, &self.query, self.beam_width, self.distance) {
                 Expansion::Finished => {
                     self.finished = true;
                     return None;
@@ -390,6 +403,26 @@ impl BeamSearcher {
         self.hops
     }
 
+    /// Rescores the best `depth` approximate candidates against `exact`
+    /// (the full-precision rows), replacing the result list with their
+    /// exact distances — the rerank step of compressed-vector search
+    /// (traversal scored DRAM-resident codes; the survivors pay flash
+    /// reads for exact distances). Candidates beyond `depth` are
+    /// dropped. Returns the rescored ids in ascending
+    /// approximate-distance order so the caller can charge the flash
+    /// reads they imply.
+    pub fn rerank<S: ScoreSource + ?Sized>(&mut self, exact: &S, depth: usize) -> Vec<VectorId> {
+        let mut approx = self.found();
+        approx.truncate(depth);
+        let ids: Vec<VectorId> = approx.iter().map(|n| n.id).collect();
+        exact.score_batch(self.distance, &self.query, &ids, &mut self.scratch);
+        self.results.clear();
+        for (&id, &d) in ids.iter().zip(self.scratch.iter()) {
+            self.results.push(Neighbor::new(d, id));
+        }
+        ids
+    }
+
     /// The current result list, ascending by distance (the final top-`ef`
     /// once [`is_finished`](Self::is_finished); a partial best-so-far view
     /// before that, e.g. for deadline-expired queries).
@@ -401,22 +434,23 @@ impl BeamSearcher {
 }
 
 /// Pure greedy descent (beam width 1) used by HNSW's upper layers: walks to
-/// the locally nearest vertex and returns it.
-pub fn greedy_descent(
-    dataset: &Dataset,
+/// the locally nearest vertex and returns it. Generic over the
+/// [`ScoreSource`] like [`beam_search`].
+pub fn greedy_descent<S: ScoreSource + ?Sized>(
+    source: &S,
     graph: &Csr,
     query: &[f32],
     entry: VectorId,
     distance: DistanceKind,
     trace: &mut QueryTrace,
 ) -> Neighbor {
-    let mut current = Neighbor::new(distance.eval(query, dataset.vector(entry)), entry);
+    let mut current = Neighbor::new(source.score_one(distance, query, entry), entry);
     let mut scratch: Vec<f32> = Vec::new();
     loop {
         let mut best = current;
         // One batched kernel call per expansion instead of per-edge eval.
         let iter_visited: Vec<VectorId> = graph.neighbors(current.id).to_vec();
-        distance.eval_batch_ids(query, dataset, &iter_visited, &mut scratch);
+        source.score_batch(distance, query, &iter_visited, &mut scratch);
         for (&nb, &d) in iter_visited.iter().zip(&scratch) {
             let cand = Neighbor::new(d, nb);
             if cand < best {
@@ -439,6 +473,7 @@ pub fn greedy_descent(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndsearch_vector::dataset::Dataset;
     use ndsearch_vector::recall::exact_knn;
     use ndsearch_vector::synthetic::DatasetSpec;
 

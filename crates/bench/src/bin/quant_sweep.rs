@@ -1,0 +1,222 @@
+//! Compressed-vector search sweep: recall vs QPS across quantization
+//! specs and rerank depths.
+//!
+//! The DiskANN-style recipe on the SearSSD model: beam traversal scores
+//! int8 or PQ codes resident in SSD-internal DRAM (no NAND access per
+//! hop), and only the final `rerank_depth` candidates pay modeled flash
+//! page reads for exact distances. This bin sweeps (quantization spec x
+//! rerank depth) against the full-precision serving baseline on a
+//! deep-1b-like corpus (f32 components, so int8 is a 4x DRAM saving and
+//! PQ far more), reporting recall@k, QPS and the code-DRAM residency
+//! fraction. In-bin asserts pin the acceptance gates: reranked recall
+//! clears the existing 0.85 recall gate, quantized QPS beats the
+//! full-precision baseline at that recall, and code DRAM stays under
+//! 0.5x the full-precision bytes. A machine-readable `BENCH_quant.json`
+//! snapshot seeds the perf trajectory across PRs.
+//!
+//! Scale knobs: `NDS_N` (base vectors, default 2800 — 4x the recall
+//! gates' corpus), `NDS_K` (top-k), `NDS_BENCH_JSON` (snapshot path,
+//! default `BENCH_quant.json`).
+
+use ndsearch_anns::index::GraphAnnsIndex;
+use ndsearch_anns::trace::BatchTrace;
+use ndsearch_anns::vamana::{Vamana, VamanaParams};
+use ndsearch_bench::{env_usize, f, print_table};
+use ndsearch_core::config::NdsConfig;
+use ndsearch_core::pipeline::Prepared;
+use ndsearch_core::serve::{QueryRequest, ServeConfig, ServeEngine, ServeReport};
+use ndsearch_vector::quant::QuantSpec;
+use ndsearch_vector::recall::{ground_truth, recall_at_k};
+use ndsearch_vector::synthetic::DatasetSpec;
+use ndsearch_vector::{Dataset, DistanceKind, VectorId};
+
+const QUERIES: usize = 32;
+const RECALL_GATE: f64 = 0.85;
+
+struct RunResult {
+    report: ServeReport,
+    recall: f64,
+    code_bytes: usize,
+    dram_fraction: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_run(
+    config: &NdsConfig,
+    serve: &ServeConfig,
+    prepared: &Prepared,
+    base: &Dataset,
+    graph: &ndsearch_graph::Csr,
+    queries: &Dataset,
+    medoid: VectorId,
+    gt: &[Vec<VectorId>],
+    k: usize,
+) -> RunResult {
+    let mut engine = ServeEngine::new(config, serve.clone(), prepared, base, graph);
+    let code_bytes = engine
+        .deployment()
+        .codes()
+        .map_or(base.stored_vector_bytes(), |c| c.code_bytes());
+    let dram_fraction = engine.deployment().codes().map_or(1.0, |c| {
+        c.total_bytes() as f64 / (base.stored_vector_bytes() * base.len()) as f64
+    });
+    for (_, q) in queries.iter() {
+        engine.submit(QueryRequest::at(0, q.to_vec(), vec![medoid]));
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completed(), queries.len(), "queries dropped");
+    let ids: Vec<Vec<VectorId>> = report
+        .outcomes
+        .iter()
+        .map(|o| o.results.iter().map(|nb| nb.id).collect())
+        .collect();
+    let recall = recall_at_k(gt, &ids, k);
+    RunResult {
+        report,
+        recall,
+        code_bytes,
+        dram_fraction,
+    }
+}
+
+fn main() {
+    let n = env_usize("NDS_N", 2800);
+    let k = env_usize("NDS_K", 10);
+    let (base, queries) = DatasetSpec::deep_scaled(n, QUERIES).build_pair();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let medoid = index.medoid();
+    let graph = index.base_graph();
+    let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    let prepared = Prepared::stage(&config, graph, &base, &BatchTrace::default());
+    let gt = ground_truth(&base, &queries, k, DistanceKind::L2);
+    let serve_base = ServeConfig {
+        k,
+        beam_width: 80,
+        max_inflight: 16,
+        ..ServeConfig::default()
+    };
+
+    // ---- Full-precision baseline (every hop pays NAND reads). ----
+    let fp = serve_run(
+        &config,
+        &serve_base,
+        &prepared,
+        &base,
+        graph,
+        &queries,
+        medoid,
+        &gt,
+        k,
+    );
+    println!(
+        "full-precision baseline: recall@{k} = {:.3}, {:.1} kQPS, {} B/vector\n",
+        fp.recall,
+        fp.report.qps() / 1e3,
+        base.stored_vector_bytes()
+    );
+
+    // ---- Quantized sweep: spec x rerank depth. ----
+    let specs: Vec<(&str, u8, QuantSpec)> = vec![
+        ("int8", 8, QuantSpec::Int8),
+        ("pq-m24-b8", 8, QuantSpec::Pq { m: 24, bits: 8 }),
+        ("pq-m24-b4", 4, QuantSpec::Pq { m: 24, bits: 4 }),
+        ("pq-m12-b8", 8, QuantSpec::Pq { m: 12, bits: 8 }),
+    ];
+    let depths = [k, 32, 64];
+    let mut rows = Vec::new();
+    let mut snapshot: Vec<String> = Vec::new();
+    let mut best_gated_qps: Option<(f64, &str, usize)> = None;
+    for (label, bits, spec) in &specs {
+        for &depth in &depths {
+            let mut cfg = config.clone();
+            cfg.quantization = *spec;
+            let serve = ServeConfig {
+                rerank_depth: depth,
+                ..serve_base.clone()
+            };
+            let r = serve_run(
+                &cfg, &serve, &prepared, &base, graph, &queries, medoid, &gt, k,
+            );
+            assert!(
+                r.dram_fraction < 0.5,
+                "{label}: code DRAM {:.2}x must stay under 0.5x full precision",
+                r.dram_fraction
+            );
+            assert!(
+                r.report.breakdown.rerank_ns > 0,
+                "{label}: rerank must charge flash time"
+            );
+            if r.recall >= RECALL_GATE {
+                let qps = r.report.qps();
+                if best_gated_qps.is_none_or(|(b, _, _)| qps > b) {
+                    best_gated_qps = Some((qps, label, depth));
+                }
+            }
+            snapshot.push(format!(
+                "{{\"spec\": \"{label}\", \"bits\": {bits}, \"rerank_depth\": {depth}, \
+                 \"recall\": {:.3}, \"qps\": {:.1}, \"code_bytes\": {}, \
+                 \"dram_fraction\": {:.3}, \"rerank_ms\": {:.3}}}",
+                r.recall,
+                r.report.qps(),
+                r.code_bytes,
+                r.dram_fraction,
+                r.report.breakdown.rerank_ns as f64 / 1e6,
+            ));
+            rows.push(vec![
+                label.to_string(),
+                depth.to_string(),
+                f(r.recall, 3),
+                f(r.report.qps() / 1e3, 1),
+                r.code_bytes.to_string(),
+                f(r.dram_fraction, 2),
+                f(r.report.breakdown.rerank_ns as f64 / 1e6, 2),
+            ]);
+        }
+    }
+    print_table(
+        "Quantized serving sweep (closed load, 16 slots, beam 80)",
+        &[
+            "spec",
+            "depth",
+            "recall",
+            "kQPS",
+            "B/vec",
+            "DRAM x",
+            "rerank ms",
+        ],
+        &rows,
+    );
+
+    // ---- Acceptance gates (mirrored by CI's snapshot validation). ----
+    let (qps, label, depth) =
+        best_gated_qps.expect("at least one quantized config must clear the 0.85 recall gate");
+    println!(
+        "\nbest gated config: {label} @ depth {depth} — {:.1} kQPS vs full-precision {:.1} kQPS",
+        qps / 1e3,
+        fp.report.qps() / 1e3
+    );
+    assert!(
+        qps > fp.report.qps(),
+        "quantized serving ({qps:.0} QPS) must beat full precision ({:.0} QPS) at recall >= {RECALL_GATE}",
+        fp.report.qps()
+    );
+
+    // ---- Machine-readable snapshot for the perf trajectory. ----
+    let path = std::env::var("NDS_BENCH_JSON").unwrap_or_else(|_| "BENCH_quant.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"quant\",\n  \"n_base\": {n},\n  \"k\": {k},\n  \
+         \"full_precision\": {{\"recall\": {fp_recall:.3}, \"qps\": {fp_qps:.1}, \
+         \"bytes_per_vector\": {fp_bytes}}},\n  \"recall_gate\": {RECALL_GATE},\n  \
+         \"best_gated\": {{\"spec\": \"{label}\", \"rerank_depth\": {depth}, \"qps\": {qps:.1}}},\n  \
+         \"sweep\": [\n    {sweep}\n  ]\n}}\n",
+        fp_recall = fp.recall,
+        fp_qps = fp.report.qps(),
+        fp_bytes = base.stored_vector_bytes(),
+        sweep = snapshot.join(",\n    "),
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote bench snapshot to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

@@ -12,6 +12,7 @@ use ndsearch_flash::geometry::FlashGeometry;
 use ndsearch_flash::timing::{FlashTiming, PcieLink};
 use ndsearch_graph::mapping::PlacementPolicy;
 use ndsearch_graph::reorder::ReorderMethod;
+use ndsearch_vector::quant::QuantSpec;
 
 /// Which scheduling techniques are active — the knobs of the ablation
 /// studies (Fig. 14/15/16).
@@ -124,6 +125,16 @@ pub struct NdsConfig {
     /// iteration). Larger budgets raise the hit rate *and* the wasted page
     /// accesses of Fig. 15.
     pub spec_budget_factor: f64,
+    /// Compressed-vector codes kept in SSD DRAM for graph traversal
+    /// (int8 or product quantization); `QuantSpec::None` (the default)
+    /// scores full-precision rows from flash as before. When enabled,
+    /// beam traversal scores DRAM-resident codes and only the final
+    /// rerank candidates pay flash page reads (see
+    /// [`crate::serve::ServeConfig::rerank_depth`]). The
+    /// `NDSEARCH_NO_QUANT` environment flag forces this back to `None`
+    /// at deployment staging (same parsing rule as `NDSEARCH_NO_SIMD`;
+    /// see `ndsearch_vector::env`).
+    pub quantization: QuantSpec,
     /// Host worker threads the round executor ([`crate::exec`]) fans
     /// per-LUN work units over. Reports are bit-identical at any value;
     /// `1` runs the exact legacy inline loop. Defaults to the host's
@@ -152,6 +163,7 @@ impl Default for NdsConfig {
             max_batch_inflight: 4096,
             refresh_read_threshold: 0,
             spec_budget_factor: 1.0,
+            quantization: QuantSpec::None,
             exec_threads: crate::exec::default_threads(),
             seed: 0x6D5,
         }

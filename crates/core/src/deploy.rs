@@ -36,6 +36,7 @@ use ndsearch_flash::timing::Nanos;
 use ndsearch_flash::wear::WearModel;
 use ndsearch_graph::csr::Csr;
 use ndsearch_vector::dataset::{Dataset, ShapeError};
+use ndsearch_vector::quant::QuantCodes;
 use ndsearch_vector::VectorId;
 
 use crate::config::NdsConfig;
@@ -161,6 +162,12 @@ pub struct Deployment {
     /// snapshot is refreshed once per round, not once per update).
     graph_dirty: bool,
     prepared: Arc<Prepared>,
+    /// DRAM-resident compressed codes for traversal, trained once at
+    /// staging from [`NdsConfig::quantization`] (`None` when
+    /// quantization is off or the `NDSEARCH_NO_QUANT` override is set).
+    /// Inserts encode through the same trained quantizer; compaction
+    /// re-packs the table.
+    codes: Option<Arc<QuantCodes>>,
     ftl: Ftl,
     wear: WearModel,
     totals: UpdateTotals,
@@ -181,6 +188,17 @@ impl std::fmt::Debug for Deployment {
     }
 }
 
+/// Trains the deployment's code table per `config.quantization`, unless
+/// the `NDSEARCH_NO_QUANT` environment flag (same parsing rule as
+/// `NDSEARCH_NO_SIMD`; see `ndsearch_vector::env`) forces compressed
+/// search off for an A/B run.
+fn train_codes(config: &NdsConfig, dataset: &Dataset) -> Option<Arc<QuantCodes>> {
+    if ndsearch_vector::env::env_flag("NDSEARCH_NO_QUANT") {
+        return None;
+    }
+    QuantCodes::train(config.quantization, dataset, config.seed ^ 0xC0DE).map(Arc::new)
+}
+
 impl Deployment {
     /// Stages a mutable deployment: runs the offline pipeline over the
     /// index's current base graph and takes ownership of index + dataset.
@@ -194,12 +212,14 @@ impl Deployment {
         let graph = Arc::new(index.base_graph().clone());
         let open_slots =
             (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+        let codes = train_codes(config, &dataset);
         Self {
             index: Some(index),
             graph,
             graph_dirty: false,
             prepared: Arc::new(prepared),
             dataset: Arc::new(dataset),
+            codes,
             ftl: Ftl::new(config.geometry, config.seed ^ 0x5EED),
             wear: WearModel::new(config.geometry),
             totals: UpdateTotals::default(),
@@ -217,12 +237,14 @@ impl Deployment {
     ) -> Self {
         let open_slots =
             (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+        let codes = train_codes(config, &dataset);
         Self {
             index: None,
             graph: Arc::new(graph),
             graph_dirty: false,
             prepared: Arc::new(prepared),
             dataset: Arc::new(dataset),
+            codes,
             ftl: Ftl::new(config.geometry, config.seed ^ 0x5EED),
             wear: WearModel::new(config.geometry),
             totals: UpdateTotals::default(),
@@ -264,6 +286,14 @@ impl Deployment {
     /// The staged physical overlay snapshot.
     pub fn prepared(&self) -> &Arc<Prepared> {
         &self.prepared
+    }
+
+    /// The DRAM-resident compressed code table, when
+    /// [`NdsConfig::quantization`] staged one. Kept in lock-step with
+    /// the dataset: inserts append through the same trained quantizer
+    /// and compaction re-packs it.
+    pub fn codes(&self) -> Option<&Arc<QuantCodes>> {
+        self.codes.as_ref()
     }
 
     /// The live index, if this deployment is mutable.
@@ -331,6 +361,11 @@ impl Deployment {
             }
         }
         let id = Arc::make_mut(&mut self.dataset).try_push(vector)?;
+        if let Some(codes) = self.codes.as_mut() {
+            // Same trained quantizer as staging: the new row's code is
+            // identical to what a fresh repack would produce.
+            Arc::make_mut(codes).push(self.dataset.vector(id));
+        }
         let index = self.index.as_mut().expect("checked above");
         let report = index.insert(&self.dataset, id);
         self.graph_dirty = true;
@@ -480,6 +515,14 @@ impl Deployment {
                     + timing.channel_transfer_ns(u64::from(config.geometry.page_bytes)));
         self.open_slots =
             (prepared.luncsr.num_vertices() as u32) % prepared.luncsr.mapping().slots_per_page();
+
+        if let Some(codes) = self.codes.as_mut() {
+            // Compaction rewrote the physical layout; re-pack the code
+            // table over the (unchanged) construction-order rows —
+            // bit-identical codes, fresh contiguous storage.
+            let repacked = codes.repack(&self.dataset);
+            *Arc::make_mut(codes) = repacked;
+        }
 
         self.totals.blocks_erased += occupied.len() as u64;
         self.totals.pages_programmed += pages;

@@ -49,23 +49,16 @@ pub(crate) const PARALLEL_THRESHOLD: usize = 16;
 /// the `NDSEARCH_EXEC_THREADS` environment variable when set to a
 /// positive integer, otherwise the host's available parallelism.
 ///
-/// The override rule is: **only** a value that parses (after trimming
-/// whitespace) as an integer ≥ 1 overrides. `0`, a negative or
-/// non-numeric value, and an empty string are all treated as "no
-/// override" and fall back to the host's available parallelism — never
-/// to a zero-thread pool (`with_pool` would interpret 0 as the inline
-/// path, silently serializing a run that asked for parallelism).
+/// The override rule is the workspace-wide
+/// [`ndsearch_vector::env::env_usize`] rule: **only** a value that parses
+/// (after trimming whitespace) as an integer ≥ 1 overrides. `0`, a
+/// negative or non-numeric value, and an empty string are all treated as
+/// "no override" and fall back to the host's available parallelism —
+/// never to a zero-thread pool (`with_pool` would interpret 0 as the
+/// inline path, silently serializing a run that asked for parallelism).
 pub fn default_threads() -> usize {
-    threads_from_env(std::env::var("NDSEARCH_EXEC_THREADS").ok().as_deref())
+    ndsearch_vector::env::env_usize("NDSEARCH_EXEC_THREADS")
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-}
-
-/// Pure parse step of [`default_threads`]: `Some(n)` only for a trimmed
-/// integer `n >= 1`; everything else (unset, empty, `0`, junk) is `None`.
-fn threads_from_env(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
 }
 
 /// Iterations a worker spin-polls its job channel before falling back to
@@ -364,24 +357,26 @@ mod tests {
 
     #[test]
     fn env_override_accepts_only_positive_integers() {
-        assert_eq!(threads_from_env(Some("4")), Some(4));
-        assert_eq!(threads_from_env(Some(" 8 ")), Some(8), "whitespace trims");
-        assert_eq!(threads_from_env(Some("1")), Some(1));
+        use ndsearch_vector::env::parse_usize;
+        assert_eq!(parse_usize(Some("4")), Some(4));
+        assert_eq!(parse_usize(Some(" 8 ")), Some(8), "whitespace trims");
+        assert_eq!(parse_usize(Some("1")), Some(1));
     }
 
     #[test]
     fn env_override_zero_falls_back_to_host_parallelism() {
         // `NDSEARCH_EXEC_THREADS=0` must not produce a zero-thread pool:
-        // the parse step reports "no override" and `default_threads`
-        // falls back to available parallelism (always ≥ 1).
-        assert_eq!(threads_from_env(Some("0")), None);
+        // the shared parse rule reports "no override" and
+        // `default_threads` falls back to available parallelism (≥ 1).
+        assert_eq!(ndsearch_vector::env::parse_usize(Some("0")), None);
     }
 
     #[test]
     fn env_override_non_numeric_falls_back_to_host_parallelism() {
+        use ndsearch_vector::env::parse_usize;
         for junk in ["abc", "", "  ", "-3", "4.5", "1e3", "0x10"] {
-            assert_eq!(threads_from_env(Some(junk)), None, "input {junk:?}");
+            assert_eq!(parse_usize(Some(junk)), None, "input {junk:?}");
         }
-        assert_eq!(threads_from_env(None), None);
+        assert_eq!(parse_usize(None), None);
     }
 }

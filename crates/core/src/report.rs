@@ -204,6 +204,10 @@ pub struct LatencyBreakdown {
     /// Flash program/erase time charged by the online-update write path
     /// (page programs for inserts, block erases for compaction).
     pub program_ns: Nanos,
+    /// Exact-rerank flash reads of compressed-vector search: the final
+    /// candidates' full-precision page reads + channel transfer (zero
+    /// unless [`crate::config::NdsConfig::quantization`] is enabled).
+    pub rerank_ns: Nanos,
 }
 
 impl LatencyBreakdown {
@@ -219,6 +223,7 @@ impl LatencyBreakdown {
             + self.bitonic_ns
             + self.pcie_ns
             + self.program_ns
+            + self.rerank_ns
     }
 
     /// Element-wise accumulation.
@@ -233,6 +238,7 @@ impl LatencyBreakdown {
         self.bitonic_ns += other.bitonic_ns;
         self.pcie_ns += other.pcie_ns;
         self.program_ns += other.program_ns;
+        self.rerank_ns += other.rerank_ns;
     }
 
     /// `(label, fraction)` rows for the Fig. 17 stacked bar.
@@ -249,6 +255,7 @@ impl LatencyBreakdown {
             ("Bitonic (FPGA)", self.bitonic_ns as f64 / total),
             ("SSD I/O (PCIe)", self.pcie_ns as f64 / total),
             ("Flash program/erase", self.program_ns as f64 / total),
+            ("Flash rerank", self.rerank_ns as f64 / total),
         ]
     }
 }

@@ -97,6 +97,7 @@ use ndsearch_flash::stats::FlashStats;
 use ndsearch_flash::timing::Nanos;
 use ndsearch_graph::csr::Csr;
 use ndsearch_vector::dataset::Dataset;
+use ndsearch_vector::quant::QuantCodes;
 use ndsearch_vector::topk::Neighbor;
 use ndsearch_vector::{DistanceKind, VectorId};
 
@@ -138,6 +139,9 @@ pub(crate) enum ServeJob {
         graph: Arc<Csr>,
         /// Staged overlay snapshot (relabeling).
         prepared: Arc<Prepared>,
+        /// Compressed-code snapshot; when present the hop scores
+        /// DRAM-resident codes instead of full-precision rows.
+        codes: Option<Arc<QuantCodes>>,
     },
     /// One per-LUN work unit of the merged round.
     Lun {
@@ -184,6 +188,8 @@ pub(crate) struct RoundPrep {
     graph: Arc<Csr>,
     /// Round-boundary staged-overlay snapshot.
     prepared: Arc<Prepared>,
+    /// Round-boundary compressed-code snapshot (when quantization is on).
+    codes: Option<Arc<QuantCodes>>,
 }
 
 /// Evaluates one serving job (worker threads and the inline path share
@@ -197,10 +203,13 @@ pub(crate) fn run_serve_job(job: ServeJob, config: &NdsConfig) -> ServeOut {
             dataset,
             graph,
             prepared,
+            codes,
         } => {
-            let hop = searcher
-                .step(&dataset, &graph)
-                .map(|h| prepared.relabel_hop(&h));
+            let hop = match codes.as_deref() {
+                Some(codes) => searcher.step(codes, &graph),
+                None => searcher.step(dataset.as_ref(), &graph),
+            }
+            .map(|h| prepared.relabel_hop(&h));
             let finished = hop.is_none() || searcher.is_finished();
             ServeOut::Hop {
                 slot,
@@ -283,6 +292,12 @@ pub struct ServeConfig {
     /// Deadline-aware admission policy. [`SloPolicy::None`] preserves the
     /// legacy FIFO behavior bit-for-bit.
     pub slo: SloPolicy,
+    /// Compressed-vector search only: how many of the best approximate
+    /// candidates are rescored with exact distances at completion, each
+    /// paying a modeled flash read ([`LatencyBreakdown::rerank_ns`]).
+    /// Clamped up to the session's top-k; ignored when
+    /// [`NdsConfig::quantization`] is off.
+    pub rerank_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -297,6 +312,7 @@ impl Default for ServeConfig {
             max_updates_per_round: 4,
             update_queue_capacity: 4096,
             slo: SloPolicy::None,
+            rerank_depth: 32,
         }
     }
 }
@@ -909,9 +925,15 @@ impl<'a> ServeEngine<'a> {
             deploy.dataset().len(),
             "staged layout must cover the dataset"
         );
+        // QPT DRAM accounting: under quantization the per-session record
+        // stores the compressed code, not the full-precision row, so the
+        // same DRAM budget admits more residents.
+        let qpt_vector_bytes = deploy
+            .codes()
+            .map_or(deploy.prepared().vector_bytes, |c| c.code_bytes());
         let qpt = QueryPropertyTable::new(
             serve.max_inflight,
-            deploy.prepared().vector_bytes,
+            qpt_vector_bytes,
             config.result_list_entries,
         );
         Self {
@@ -1218,6 +1240,65 @@ impl<'a> ServeEngine<'a> {
         self.last_completion_ns = self.last_completion_ns.max(now);
     }
 
+    /// Simulated duration of one quantized scheduling round: the hops'
+    /// distance evaluations read codes from internal DRAM and run on the
+    /// embedded cores/accelerator — no NAND access. Derived from the
+    /// hop traces alone (slot order), so it is bit-identical at any
+    /// `exec_threads`.
+    fn quantized_round_ns(&mut self, codes: &QuantCodes, hops: &[(u32, IterationTrace)]) -> Nanos {
+        let timing = &self.config.timing;
+        let active = hops.len();
+        let new_distances: u64 = hops.iter().map(|(_, it)| it.visited.len() as u64).sum();
+        // Code fetches for scoring + the usual QPT gathering traffic.
+        let code_traffic = new_distances * codes.code_bytes() as u64;
+        let dram_ns = timing
+            .dram_transfer_ns(code_traffic + self.qpt.gather_traffic_bytes(active, new_distances));
+        // Decode+MAC on the accelerator: dim elements per eval over the
+        // configured MAC lanes.
+        let dim = codes.quantizer().dim() as u64;
+        let lanes = u64::from(self.config.mac_lanes()).max(1);
+        let compute_ns = timing.accel_cycles_ns(new_distances * dim.div_ceil(lanes));
+        let embedded_ns = active as u64 * timing.t_embedded_op_ns;
+        self.breakdown.dram_ns += dram_ns;
+        self.breakdown.compute_ns += compute_ns;
+        self.breakdown.embedded_ns += embedded_ns;
+        self.stats.distance_evals += new_distances;
+        self.stats.search_ops += active as u64;
+        dram_ns + compute_ns + embedded_ns
+    }
+
+    /// Exact-rerank tail of one completing quantized session: rescores
+    /// the best [`ServeConfig::rerank_depth`] approximate candidates
+    /// against the full-precision dataset, charging one NAND page read
+    /// per distinct page the candidates occupy plus the channel
+    /// transfer of their rows.
+    fn rerank_tail_ns(&mut self, id: QueryId, dataset: &Dataset, prepared: &Prepared) -> Nanos {
+        let depth = self.serve.rerank_depth.max(self.sessions[id].k);
+        let Some(searcher) = self.sessions[id].searcher.as_mut() else {
+            return 0;
+        };
+        let ids = searcher.rerank(dataset, depth);
+        if ids.is_empty() {
+            return 0;
+        }
+        let pages: std::collections::BTreeSet<u64> = ids
+            .iter()
+            .map(|&v| {
+                prepared
+                    .luncsr
+                    .physical_addr(prepared.perm.new_of(v))
+                    .page_key(&self.config.geometry)
+            })
+            .collect();
+        let timing = &self.config.timing;
+        let read_ns = pages.len() as u64 * timing.t_read_page_ns
+            + timing.channel_transfer_ns(ids.len() as u64 * prepared.vector_bytes as u64);
+        self.stats.page_reads += pages.len() as u64;
+        self.stats.distance_evals += ids.len() as u64;
+        self.breakdown.rerank_ns += read_ns;
+        read_ns
+    }
+
     /// Per-query Sorting-stage tail: result list over the private FPGA
     /// link, one bitonic sort wave, top-k back over the host link (the
     /// same [`sorting_tail`] model the batch engine uses, for one query).
@@ -1302,6 +1383,7 @@ impl<'a> ServeEngine<'a> {
         let dataset = Arc::clone(self.deploy.dataset());
         let graph = Arc::clone(self.deploy.graph());
         let prepared = Arc::clone(self.deploy.prepared());
+        let codes = self.deploy.codes().cloned();
 
         // ---- Admission: PCIe-in DMA overlaps the round's search. The
         // searcher (and its dataset-sized visited set) is built here, not
@@ -1378,6 +1460,7 @@ impl<'a> ServeEngine<'a> {
                 dataset: Arc::clone(&dataset),
                 graph: Arc::clone(&graph),
                 prepared: Arc::clone(&prepared),
+                codes: codes.clone(),
             });
         }
         Some(RoundPrep {
@@ -1386,6 +1469,7 @@ impl<'a> ServeEngine<'a> {
             dataset,
             graph,
             prepared,
+            codes,
         })
     }
 
@@ -1405,6 +1489,7 @@ impl<'a> ServeEngine<'a> {
             dataset,
             graph,
             prepared,
+            codes,
         } = prep;
         let mut hops: Vec<(u32, IterationTrace)> = Vec::new();
         let mut finished: Vec<QueryId> = Vec::new();
@@ -1428,32 +1513,41 @@ impl<'a> ServeEngine<'a> {
             }
         }
 
-        // ---- Execute the merged round on the hardware model. ----
+        // ---- Execute the merged round on the hardware model. Quantized
+        // rounds never touch flash: every distance comes from the
+        // DRAM-resident code table, so the round costs DRAM traffic and
+        // embedded-core compute instead of NAND sensing — flash is paid
+        // only by the exact rerank at completion. ----
         let mut round_exec: Nanos = 0;
         if !hops.is_empty() {
-            let entries: Vec<(u32, VectorId, &[VectorId])> = hops
-                .iter()
-                .map(|(q, it)| (*q, it.entry, it.visited.as_slice()))
-                .collect();
-            let mut executor = pool.map(|p| RoundExecutor {
-                pool: p,
-                prepared: Arc::clone(&prepared),
-            });
-            let round = execute_round(
-                self.config,
-                &prepared.luncsr,
-                &self.qpt,
-                &entries,
-                RoundSinks {
-                    ecc: &mut self.ecc,
-                    stats: &mut self.stats,
-                    luns_touched: &mut self.luns_touched,
-                },
-                executor.as_mut().map(|e| e as &mut dyn LunExecutor),
-            );
-            let overlap = self.config.scheduling.dynamic_allocating && self.rounds > 0;
-            round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
-            self.rounds += 1;
+            if let Some(codes) = codes.as_deref() {
+                round_exec = self.quantized_round_ns(codes, &hops);
+                self.rounds += 1;
+            } else {
+                let entries: Vec<(u32, VectorId, &[VectorId])> = hops
+                    .iter()
+                    .map(|(q, it)| (*q, it.entry, it.visited.as_slice()))
+                    .collect();
+                let mut executor = pool.map(|p| RoundExecutor {
+                    pool: p,
+                    prepared: Arc::clone(&prepared),
+                });
+                let round = execute_round(
+                    self.config,
+                    &prepared.luncsr,
+                    &self.qpt,
+                    &entries,
+                    RoundSinks {
+                        ecc: &mut self.ecc,
+                        stats: &mut self.stats,
+                        luns_touched: &mut self.luns_touched,
+                    },
+                    executor.as_mut().map(|e| e as &mut dyn LunExecutor),
+                );
+                let overlap = self.config.scheduling.dynamic_allocating && self.rounds > 0;
+                round_exec = round.apply(&mut self.breakdown, &mut self.prev_shadow, overlap);
+                self.rounds += 1;
+            }
         }
         let advance = round_exec.max(t_in);
         self.now_ns += advance;
@@ -1472,7 +1566,15 @@ impl<'a> ServeEngine<'a> {
         // this round's clock advance, so completion re-checks it. ----
         for id in finished {
             self.inflight.retain(|&x| x != id);
-            let tail = self.completion_tail_ns();
+            let mut tail = self.completion_tail_ns();
+            if codes.is_some() {
+                // Exact rerank: the final candidates' full-precision rows
+                // are read from flash and rescored before sorting. The
+                // read extends this query's completion tail (overlapping
+                // subsequent rounds, like the sorting tail), and counts
+                // against its deadline below.
+                tail += self.rerank_tail_ns(id, &dataset, &prepared);
+            }
             let done_ns = self.now_ns + tail;
             let state = match self.sessions[id].deadline_ns {
                 Some(d) if done_ns > d => SessionState::Expired,
@@ -2042,7 +2144,7 @@ mod tests {
         let mut vs = VisitedSet::new(engine.deployment().dataset().len());
         for (i, (_, q)) in fx.queries.iter().enumerate() {
             let mut want = beam_search(
-                engine.deployment().dataset(),
+                engine.deployment().dataset().as_ref(),
                 engine.deployment().graph(),
                 q,
                 &[fx.medoid],

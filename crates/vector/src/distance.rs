@@ -209,15 +209,14 @@ impl std::fmt::Display for DistanceKind {
 /// Whether the AVX2/FMA kernels are in force for this process.
 ///
 /// Decided once on first use and cached: true iff the CPU reports AVX2+FMA
-/// and `NDSEARCH_NO_SIMD` is unset/empty/`0`. Exposed so benches and the
-/// `kernel_sweep` bin can record which kernel produced a measurement.
+/// and `NDSEARCH_NO_SIMD` is unset/empty/`0` under the workspace-wide
+/// [`crate::env::env_flag`] rule (trimmed, `"0"` means unset). Exposed so
+/// benches and the `kernel_sweep` bin can record which kernel produced a
+/// measurement.
 pub fn simd_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
-        let opted_out = matches!(
-            std::env::var("NDSEARCH_NO_SIMD"), Ok(v) if !v.is_empty() && v != "0"
-        );
-        if opted_out {
+        if crate::env::env_flag("NDSEARCH_NO_SIMD") {
             return false;
         }
         #[cfg(target_arch = "x86_64")]

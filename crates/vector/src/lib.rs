@@ -6,8 +6,11 @@
 //! ([`rng::SplitMix64`], [`rng::Pcg32`]), synthetic dataset presets mirroring
 //! the paper's five benchmarks ([`synthetic::DatasetSpec`]), exact
 //! ground-truth / recall evaluation ([`recall`]), a bounded top-k
-//! collector ([`topk::TopK`]) and the dataset partitioner behind the
-//! sharded cluster serving tier ([`shard::ShardPlan`]).
+//! collector ([`topk::TopK`]), the dataset partitioner behind the
+//! sharded cluster serving tier ([`shard::ShardPlan`]), compressed-vector
+//! codes for DRAM-resident traversal ([`quant`]: int8 and product
+//! quantization behind the [`quant::ScoreSource`] seam) and the single
+//! parsing rule for `NDSEARCH_*` environment overrides ([`mod@env`]).
 //!
 //! The NDSEARCH paper evaluates on glove-100, fashion-mnist, sift-1b,
 //! deep-1b and spacev-1b. Billion-scale corpora are not tractable inside a
@@ -32,6 +35,8 @@
 
 pub mod dataset;
 pub mod distance;
+pub mod env;
+pub mod quant;
 pub mod recall;
 pub mod rng;
 pub mod shard;
@@ -40,6 +45,7 @@ pub mod topk;
 
 pub use dataset::{Dataset, VectorId};
 pub use distance::DistanceKind;
+pub use quant::{QuantCodes, QuantSpec, ScoreSource};
 pub use recall::{ground_truth, recall_at_k};
 pub use shard::{ShardPlan, ShardPolicy};
 pub use topk::TopK;

@@ -32,11 +32,19 @@ impl PartialOrd for Neighbor {
 
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Total order: NaNs (which never occur with our kernels) sort last.
-        self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.id.cmp(&other.id))
+        // Total order even under NaN: a NaN distance sorts *after* every
+        // real distance (worst possible neighbor), and two NaNs tie by id.
+        // The old `partial_cmp(..).unwrap_or(Equal)` made NaN "equal" to
+        // everything, which is not transitive (NaN == 1.0, NaN == 2.0, but
+        // 1.0 < 2.0) and silently corrupted `BinaryHeap` order.
+        match self.distance.partial_cmp(&other.distance) {
+            Some(ord) => ord.then_with(|| self.id.cmp(&other.id)),
+            None => match (self.distance.is_nan(), other.distance.is_nan()) {
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                _ => self.id.cmp(&other.id),
+            },
+        }
     }
 }
 
@@ -88,8 +96,14 @@ impl TopK {
 
     /// Inserts a candidate, evicting the current worst if full. Returns
     /// `true` if the candidate was kept.
+    ///
+    /// A NaN distance is rejected outright: it can never rank among the
+    /// `k` smallest, and admitting one while the heap is below capacity
+    /// would pin an incomparable worst-entry at the top.
     pub fn push(&mut self, n: Neighbor) -> bool {
-        if self.heap.len() < self.k {
+        if n.distance.is_nan() {
+            false
+        } else if self.heap.len() < self.k {
             self.heap.push(n);
             true
         } else if let Some(worst) = self.heap.peek() {
@@ -111,8 +125,9 @@ impl TopK {
     }
 
     /// Whether a candidate with distance `d` would be kept if pushed now.
+    /// NaN is never kept, mirroring [`TopK::push`].
     pub fn would_keep(&self, d: f32) -> bool {
-        self.heap.len() < self.k || self.worst_distance().is_some_and(|w| d < w)
+        !d.is_nan() && (self.heap.len() < self.k || self.worst_distance().is_some_and(|w| d < w))
     }
 
     /// Consumes the collector, returning neighbors sorted ascending by
@@ -185,5 +200,35 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         TopK::new(0);
+    }
+
+    #[test]
+    fn nan_is_rejected_and_order_stays_total() {
+        // Regression: NaN used to compare Equal to everything (breaking
+        // transitivity and heap order) and was admitted below capacity.
+        let mut top = TopK::new(2);
+        assert!(!top.would_keep(f32::NAN));
+        assert!(!top.push(Neighbor::new(f32::NAN, 0)));
+        assert!(top.is_empty(), "NaN must not occupy a slot below capacity");
+        top.push(Neighbor::new(2.0, 1));
+        top.push(Neighbor::new(1.0, 2));
+        assert!(!top.push(Neighbor::new(f32::NAN, 3)));
+        assert!(!top.would_keep(f32::NAN));
+        let ids: Vec<_> = top.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+        // The Ord impl itself totally orders NaN last, ties by id.
+        use std::cmp::Ordering;
+        let nan9 = Neighbor::new(f32::NAN, 9);
+        let nan3 = Neighbor::new(f32::NAN, 3);
+        let real = Neighbor::new(1e30, 7);
+        assert_eq!(nan9.cmp(&real), Ordering::Greater);
+        assert_eq!(real.cmp(&nan9), Ordering::Less);
+        assert_eq!(nan3.cmp(&nan9), Ordering::Less);
+        assert_eq!(nan9.cmp(&nan9), Ordering::Equal);
+        // Interleaving NaNs with reals sorts NaNs last, not arbitrarily.
+        let mut v = [nan9, real, nan3, Neighbor::new(0.5, 1)];
+        v.sort_unstable();
+        let order: Vec<_> = v.iter().map(|n| n.id).collect();
+        assert_eq!(order, vec![1, 7, 3, 9]);
     }
 }

@@ -42,6 +42,50 @@
 //! each scheduling round, reporting QPS and p50/p99 latency. See
 //! `examples/serving_concurrent.rs` and the `serve_sweep` bench binary.
 //!
+//! ## Compressed-vector search (codes in DRAM + exact flash rerank)
+//!
+//! Setting [`core::config::NdsConfig::quantization`] to a
+//! [`vector::quant::QuantSpec`] (`Int8` or `Pq { m, bits }`) switches
+//! serving to the DiskANN recipe: the deployment trains a
+//! [`vector::quant::QuantCodes`] table at staging, beam traversal
+//! scores the DRAM-resident codes through the [`vector::quant::ScoreSource`]
+//! seam (no NAND access per hop), and only the final
+//! `ServeConfig::rerank_depth` candidates pay modeled flash page reads
+//! for exact full-precision distances, charged to the dedicated
+//! `rerank_ns` latency bucket. Inserts encode through the same trained
+//! quantizer, compaction re-packs the table, the QPT DRAM budget admits
+//! more residents (records shrink to code bytes), and quantized runs
+//! stay bit-identical across `exec_threads` and shard orders. Opt out
+//! at runtime with `NDSEARCH_NO_QUANT=1`. See the "Compressed-vector
+//! search & exact rerank" section of `docs/ARCHITECTURE.md` and the
+//! `quant_sweep` bench binary.
+//!
+//! ```
+//! use ndsearch::anns::index::GraphAnnsIndex;
+//! use ndsearch::anns::vamana::{Vamana, VamanaParams};
+//! use ndsearch::core::config::NdsConfig;
+//! use ndsearch::core::deploy::Deployment;
+//! use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine};
+//! use ndsearch::vector::synthetic::DatasetSpec;
+//! use ndsearch::vector::QuantSpec;
+//!
+//! let (base, queries) = DatasetSpec::sift_scaled(300, 4).build_pair();
+//! let index = Vamana::build(&base, VamanaParams::default());
+//! let medoid = index.medoid();
+//! let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+//! config.quantization = QuantSpec::Int8; // 1 byte/dim codes in DRAM
+//! let serve = ServeConfig { rerank_depth: 24, ..ServeConfig::default() };
+//! let deploy = Deployment::stage(&config, Box::new(index), base);
+//! let mut engine = ServeEngine::with_deployment(&config, serve, deploy);
+//! for (_, q) in queries.iter() {
+//!     engine.submit(QueryRequest::at(0, q.to_vec(), vec![medoid]));
+//! }
+//! let report = engine.run_to_completion();
+//! assert_eq!(report.completed(), queries.len());
+//! # assert!(report.breakdown.rerank_ns > 0);
+//! # assert_eq!(report.breakdown.nand_read_ns, 0);
+//! ```
+//!
 //! ## Sharded multi-device serving
 //!
 //! The cluster tier (`core::cluster`, with the

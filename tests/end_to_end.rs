@@ -6,16 +6,17 @@ use ndsearch::anns::hcnng::{Hcnng, HcnngParams};
 use ndsearch::anns::hnsw::{Hnsw, HnswParams};
 use ndsearch::anns::index::{GraphAnnsIndex, MutableIndex, SearchParams};
 use ndsearch::anns::togg::{Togg, ToggParams};
+use ndsearch::anns::trace::BatchTrace;
 use ndsearch::anns::vamana::{Vamana, VamanaParams};
 use ndsearch::core::cluster::{ClusterEngine, ClusterQueryRequest};
 use ndsearch::core::config::NdsConfig;
 use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
-use ndsearch::core::serve::{ServeConfig, SessionState, UpdateRequest};
+use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine, SessionState, UpdateRequest};
 use ndsearch::vector::recall::{exact_knn, ground_truth, recall_at_k};
 use ndsearch::vector::shard::{ShardPlan, ShardPolicy};
 use ndsearch::vector::synthetic::DatasetSpec;
-use ndsearch::vector::{Dataset, DistanceKind, VectorId};
+use ndsearch::vector::{Dataset, DistanceKind, QuantSpec, VectorId};
 
 fn pipeline(index: &dyn GraphAnnsIndex, min_recall: f64) {
     let (base, queries) = DatasetSpec::sift_scaled(700, 24).build_pair();
@@ -69,6 +70,169 @@ fn togg_end_to_end() {
     let base = DatasetSpec::sift_scaled(700, 24).build();
     let index = Togg::build(&base, ToggParams::default());
     pipeline(&index, 0.80);
+}
+
+/// Compressed-vector serving gate at 4x the corpus of the pipelines
+/// above (700 -> 2800): beam traversal scores DRAM-resident codes, only
+/// the final `rerank_depth` candidates pay exact-distance flash reads,
+/// and recall must clear the same bar as the full-precision gates.
+fn quantized_pipeline(
+    graph: &ndsearch::graph::Csr,
+    entry: VectorId,
+    base: &Dataset,
+    min_recall: f64,
+    label: &str,
+) {
+    let queries = DatasetSpec::sift_scaled(2800, 24).build_pair().1;
+    let mut config = NdsConfig::scaled_for(base.len(), base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    config.quantization = QuantSpec::Int8;
+    let prepared = Prepared::stage(&config, graph, base, &BatchTrace::default());
+    let serve = ServeConfig {
+        k: 10,
+        beam_width: 80,
+        rerank_depth: 40,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(&config, serve, &prepared, base, graph);
+    let codes = engine
+        .deployment()
+        .codes()
+        .expect("quantization staged a code table");
+    assert_eq!(codes.len(), base.len());
+    for (_, q) in queries.iter() {
+        engine.submit(QueryRequest::at(0, q.to_vec(), vec![entry]));
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(
+        report.completed(),
+        queries.len(),
+        "{label}: queries dropped"
+    );
+    let ids: Vec<Vec<VectorId>> = report
+        .outcomes
+        .iter()
+        .map(|o| o.results.iter().map(|n| n.id).collect())
+        .collect();
+    let gt = ground_truth(base, &queries, 10, DistanceKind::L2);
+    let recall = recall_at_k(&gt, &ids, 10);
+    assert!(
+        recall >= min_recall,
+        "{label}: quantized+rerank recall {recall} below {min_recall} at n=2800"
+    );
+    // Traversal stayed in DRAM: flash reads come only from the exact
+    // rerank of the final candidates.
+    assert_eq!(
+        report.breakdown.nand_read_ns, 0,
+        "{label}: hops touched NAND"
+    );
+    assert!(
+        report.breakdown.rerank_ns > 0,
+        "{label}: rerank charged no flash time"
+    );
+    assert!(report.stats.page_reads > 0, "{label}: rerank read no pages");
+    assert!(
+        report.breakdown.dram_ns > 0,
+        "{label}: code scoring charged no DRAM"
+    );
+}
+
+#[test]
+fn hnsw_quantized_end_to_end() {
+    let base = DatasetSpec::sift_scaled(2800, 24).build();
+    let index = Hnsw::build(&base, HnswParams::default());
+    let entry = index.entry_point();
+    quantized_pipeline(index.base_graph(), entry, &base, 0.85, "HNSW");
+}
+
+#[test]
+fn vamana_quantized_end_to_end() {
+    let base = DatasetSpec::sift_scaled(2800, 24).build();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let entry = index.medoid();
+    quantized_pipeline(index.base_graph(), entry, &base, 0.85, "Vamana");
+}
+
+/// Regression: QPT DRAM accounting must not silently revert to
+/// full-precision record sizes after a deployment churns (inserts,
+/// deletes, compaction) and a successor engine is staged from it. PQ on
+/// sift makes the gap unmistakable: 16-byte codes vs 128-byte stored
+/// rows, so a reverted table admits strictly fewer residents under the
+/// same DRAM budget.
+#[test]
+fn churned_quantized_deployment_keeps_code_byte_qpt_accounting() {
+    use ndsearch::core::deploy::Deployment;
+    use ndsearch::core::qpt::QueryPropertyTable;
+
+    let (base, extra) = DatasetSpec::sift_scaled(400, 24).build_pair();
+    let index = Vamana::build(&base, VamanaParams::default());
+    let medoid = index.medoid();
+    let mut config = NdsConfig::scaled_for(800, base.stored_vector_bytes());
+    config.ecc.hard_decision_failure_prob = 0.0;
+    config.quantization = QuantSpec::Pq { m: 16, bits: 8 };
+    let deploy = Deployment::stage(&config, Box::new(index), base.clone());
+    let code_bytes = deploy.codes().expect("codes staged").code_bytes();
+    assert_eq!(code_bytes, 16);
+
+    // Budget sized in *code* records: a full-precision record is
+    // 112 bytes larger, so the reverted accounting caps residency lower.
+    let residents = 10usize;
+    let quant_record = QueryPropertyTable::new(1, code_bytes, config.result_list_entries);
+    let full_record =
+        QueryPropertyTable::new(1, base.stored_vector_bytes(), config.result_list_entries);
+    let budget = quant_record.record_bytes() * residents as u64;
+    assert!(
+        full_record.max_resident(budget) < residents,
+        "gap too small to detect a revert"
+    );
+    let serve = ServeConfig {
+        k: 10,
+        beam_width: 48,
+        max_inflight: 64,
+        rerank_depth: 24,
+        qpt_dram_budget_bytes: budget,
+        ..ServeConfig::default()
+    };
+
+    // Churn: queries racing inserts and deletes, then compaction.
+    let mut engine = ServeEngine::with_deployment(&config, serve.clone(), deploy);
+    assert_eq!(engine.max_inflight(), residents, "pre-churn QPT accounting");
+    for (i, (_, q)) in extra.iter().take(8).enumerate() {
+        engine.submit(QueryRequest::at(i as u64 * 1_000, q.to_vec(), vec![medoid]));
+    }
+    for i in 0..12u32 {
+        engine.submit_update(UpdateRequest::insert_at(
+            u64::from(i) * 800,
+            extra.vector(i % extra.len() as u32).to_vec(),
+        ));
+        engine.submit_update(UpdateRequest::delete_at(u64::from(i) * 900 + 50, i * 7));
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completed(), 8);
+    assert!(report.updates_completed() > 0);
+    let compaction = engine.compact().expect("mutable deployment compacts");
+    assert!(compaction.blocks_erased > 0);
+
+    // The churned deployment still carries one code per (grown) row...
+    let deploy = engine.into_deployment();
+    let codes = deploy.codes().expect("codes survive churn").clone();
+    assert_eq!(codes.len(), deploy.dataset().len());
+    assert_eq!(codes.code_bytes(), code_bytes);
+
+    // ...and a successor engine staged from it must derive QPT records
+    // from code bytes, not the full-precision rows.
+    let mut engine = ServeEngine::with_deployment(&config, serve, deploy);
+    assert_eq!(
+        engine.max_inflight(),
+        residents,
+        "post-churn QPT accounting reverted to full-precision records"
+    );
+    for (i, (_, q)) in extra.iter().take(8).enumerate() {
+        engine.submit(QueryRequest::at(i as u64 * 1_000, q.to_vec(), vec![medoid]));
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completed(), 8);
+    assert!(report.breakdown.rerank_ns > 0, "post-churn rerank inactive");
 }
 
 /// Serves the benchmark queries through a 4-shard scatter–gather cluster

@@ -26,6 +26,7 @@ use ndsearch::core::engine::NdsEngine;
 use ndsearch::core::pipeline::Prepared;
 use ndsearch::core::serve::{QueryRequest, ServeConfig, ServeEngine, UpdateRequest};
 use ndsearch::flash::timing::Nanos;
+use ndsearch::vector::quant::QuantSpec;
 use ndsearch::vector::shard::{ShardPlan, ShardPolicy};
 use ndsearch::vector::synthetic::DatasetSpec;
 use ndsearch::vector::{Dataset, VectorId};
@@ -149,6 +150,161 @@ fn mixed_update_serving_bit_identical_across_thread_counts() {
                 "mixed serving diverged between 1 and 4 threads"
             );
             prop_assert!(reports[0].updates_completed() > 0);
+            Ok(())
+        },
+    );
+}
+
+/// Compressed-vector serving (codes in DRAM + exact flash rerank) with
+/// mixed updates: quantized round costs are derived from hop traces in
+/// slot order and the rerank tail rescores through the same dispatched
+/// kernels, so the full report — outcomes, rerank latency bucket,
+/// page-read stats — must be bit-identical at `exec_threads` ∈ {1, 4}
+/// for both code families.
+#[test]
+fn quantized_serving_bit_identical_across_thread_counts() {
+    proptest::test_runner::run(
+        Config { cases: 3 },
+        "quantized_serving_bit_identical_across_thread_counts",
+        |rng| {
+            let n = (250usize..400).generate(rng);
+            let q = (4usize..10).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let index = Vamana::build(&base, VamanaParams::default());
+            let medoid = index.medoid();
+            let mut config = random_config(rng, n * 2, base.stored_vector_bytes());
+            config.refresh_read_threshold = 0;
+            config.quantization = if any::<bool>().generate(rng) {
+                QuantSpec::Int8
+            } else {
+                QuantSpec::Pq { m: 16, bits: 8 }
+            };
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                rerank_depth: (8usize..48).generate(rng),
+                max_updates_per_round: (1usize..4).generate(rng),
+                ..ServeConfig::default()
+            };
+            let interarrival = (0u64..2_000).generate(rng);
+            let n_inserts = (4usize..10).generate(rng);
+            let reports: Vec<_> = [1usize, 4]
+                .iter()
+                .map(|&threads| {
+                    let mut c = config.clone();
+                    c.exec_threads = threads;
+                    let deploy = Deployment::stage(&c, Box::new(index.clone()), base.clone());
+                    let mut engine = ServeEngine::with_deployment(&c, serve.clone(), deploy);
+                    for (i, (_, qv)) in queries.iter().enumerate() {
+                        engine.submit(QueryRequest::at(
+                            i as Nanos * interarrival,
+                            qv.to_vec(),
+                            vec![medoid],
+                        ));
+                    }
+                    for i in 0..n_inserts {
+                        engine.submit_update(UpdateRequest::insert_at(
+                            i as Nanos * interarrival + 500,
+                            queries.vector((i % queries.len()) as u32).to_vec(),
+                        ));
+                    }
+                    engine.run_to_completion()
+                })
+                .collect();
+            prop_assert_eq!(
+                &reports[0],
+                &reports[1],
+                "quantized serving diverged between 1 and 4 threads"
+            );
+            prop_assert_eq!(reports[0].completed(), q);
+            prop_assert!(
+                reports[0].breakdown.rerank_ns > 0,
+                "quantized completions must charge rerank flash reads"
+            );
+            prop_assert_eq!(
+                reports[0].breakdown.nand_read_ns,
+                0,
+                "quantized traversal must not touch NAND"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Quantized cluster serving: each shard trains its own code table at
+/// staging, so the merged report must be bit-identical at
+/// `exec_threads` ∈ {1, 4} *and* invariant under shard step order — the
+/// same contract as full-precision scatter–gather.
+#[test]
+fn quantized_cluster_bit_identical_across_thread_counts_and_shard_order() {
+    proptest::test_runner::run(
+        Config { cases: 2 },
+        "quantized_cluster_bit_identical_across_thread_counts_and_shard_order",
+        |rng| {
+            let n = (200usize..320).generate(rng);
+            let q = (4usize..9).generate(rng);
+            let (base, queries) = DatasetSpec::sift_scaled(n, q).build_pair();
+            let mut config = random_config(rng, n * 2, base.stored_vector_bytes());
+            config.refresh_read_threshold = 0;
+            config.quantization = if any::<bool>().generate(rng) {
+                QuantSpec::Int8
+            } else {
+                QuantSpec::Pq { m: 12, bits: 6 }
+            };
+            let serve = ServeConfig {
+                max_inflight: (2usize..8).generate(rng),
+                beam_width: (16usize..48).generate(rng),
+                rerank_depth: (8usize..32).generate(rng),
+                max_updates_per_round: (1usize..4).generate(rng),
+                ..ServeConfig::default()
+            };
+            let plan_seed = (0u64..u64::MAX).generate(rng);
+            let interarrival = (0u64..2_000).generate(rng);
+            let n_inserts = (3usize..8).generate(rng);
+            let shards = 4usize;
+
+            let builder = |ds: &Dataset| {
+                let index = Vamana::build(ds, VamanaParams::default());
+                let entry = index.medoid();
+                (Box::new(index) as Box<dyn MutableIndex>, entry)
+            };
+            let run = |threads: usize, order: &[usize]| {
+                let mut c = config.clone();
+                c.exec_threads = threads;
+                let plan = ShardPlan::partition(n, shards, ShardPolicy::BalancedSize, plan_seed);
+                let mut cluster = ClusterEngine::stage(&c, serve.clone(), plan, &base, builder);
+                for (i, (_, qv)) in queries.iter().enumerate() {
+                    cluster.submit(ClusterQueryRequest::at(
+                        i as Nanos * interarrival,
+                        qv.to_vec(),
+                    ));
+                }
+                for i in 0..n_inserts {
+                    cluster.submit_update(UpdateRequest::insert_at(
+                        i as Nanos * interarrival + 500,
+                        queries.vector((i % queries.len()) as u32).to_vec(),
+                    ));
+                }
+                cluster.run_to_completion_ordered(order)
+            };
+            let identity: Vec<usize> = (0..shards).collect();
+            let reference = run(1, &identity);
+            prop_assert_eq!(reference.completed(), q);
+            prop_assert_eq!(
+                &reference,
+                &run(4, &identity),
+                "quantized cluster diverged between 1 and 4 threads"
+            );
+            prop_assert_eq!(
+                &reference,
+                &run(1, &[3usize, 1, 0, 2]),
+                "quantized cluster diverged under permuted shard order"
+            );
+            prop_assert_eq!(
+                &reference,
+                &run(4, &[2usize, 3, 0, 1]),
+                "quantized cluster diverged under 4 threads + permuted order"
+            );
             Ok(())
         },
     );

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use ndsearch::anns::beam::BeamSearcher;
 use ndsearch::anns::bitonic::bitonic_sort;
 use ndsearch::core::traffic::{
     ArrivalModel, EventKind, QueryMix, Scenario, TenantProfile, ZipfSampler,
@@ -17,7 +18,9 @@ use ndsearch::vector::distance::{
     angular, dot, dot_scalar, dot_unrolled, l2_squared, l2_squared_scalar, l2_squared_unrolled,
     DistanceKind,
 };
+use ndsearch::vector::quant::{Int8Quantizer, QuantCodes, QuantSpec, ScoreSource};
 use ndsearch::vector::topk::{Neighbor, TopK};
+use ndsearch::vector::Dataset;
 
 /// The kernel-equivalence dims: every in-register shape (1..=8), the two
 /// bench dims, and an odd length that exercises the 32-, 8- and scalar-tail
@@ -474,6 +477,120 @@ proptest! {
         permuted.reverse();
         s.mix.tenants = permuted;
         prop_assert_eq!(reference, s.generate(16, 4, 0..30));
+    }
+
+    // ---- Compressed-vector codes: training and encoding are pure
+    // functions of (rows, spec, seed), so a code table is bit-identical
+    // across regeneration, and a row's code is invariant under the order
+    // rows are assigned to shards or tenants.
+    #[test]
+    fn quant_codes_bit_identical_across_regeneration_and_row_order(
+        flat in proptest::collection::vec(-50.0f32..50.0, 12 * 40),
+        seed in any::<u64>(),
+        use_pq in any::<bool>(),
+        rot in 1usize..39,
+    ) {
+        let dim = 12;
+        let rows: Vec<Vec<f32>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
+        let n = rows.len();
+        let ds = Dataset::from_rows(dim, rows.clone()).unwrap();
+        let spec = if use_pq {
+            QuantSpec::Pq { m: 4, bits: 4 }
+        } else {
+            QuantSpec::Int8
+        };
+        let full = QuantCodes::train(spec, &ds, seed).unwrap();
+        prop_assert_eq!(&full, &QuantCodes::train(spec, &ds, seed).unwrap());
+        prop_assert_eq!(&full.repack(&ds), &full);
+        // Encode a rotated copy through the same trained quantizer: each
+        // row's code must match its code in the original table.
+        let mut rotated = rows;
+        rotated.rotate_left(rot);
+        let repacked = full.repack(&Dataset::from_rows(dim, rotated).unwrap());
+        for i in 0..n {
+            prop_assert_eq!(
+                repacked.code(i as u32),
+                full.code(((i + rot) % n) as u32),
+                "row {} code changed under rotation {}", i, rot
+            );
+        }
+    }
+
+    // Int8 reconstruction: per dimension the round-trip error is at most
+    // half the trained quantization step (plus f32 rounding slack) for
+    // in-range values — and training scans every row at this scale, so
+    // all stored rows are in range.
+    #[test]
+    fn int8_reconstruction_error_is_bounded_by_half_step(
+        flat in proptest::collection::vec(-80.0f32..80.0, 9 * 30),
+        seed in any::<u64>(),
+    ) {
+        let dim = 9;
+        let rows: Vec<Vec<f32>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
+        let ds = Dataset::from_rows(dim, rows).unwrap();
+        let q = Int8Quantizer::train(&ds, seed);
+        let mut code = Vec::new();
+        let mut rec = vec![0.0f32; dim];
+        for (_, row) in ds.iter() {
+            code.clear();
+            q.encode_into(row, &mut code);
+            q.decode_into(&code, &mut rec);
+            for (d, (&x, &r)) in row.iter().zip(&rec).enumerate() {
+                let bound = q.scale()[d] * 0.5 * (1.0 + 1e-3) + 1e-4;
+                prop_assert!(
+                    (x - r).abs() <= bound,
+                    "dim {}: |{} - {}| > {}", d, x, r, bound
+                );
+            }
+        }
+    }
+
+    // Exhaustive regime: complete graph, beam width n, rerank depth n —
+    // traversal over codes visits every vertex and the exact rerank
+    // rescores all of them, so the reranked result list must equal the
+    // full-precision brute-force ranking bit for bit, whatever the code
+    // family got wrong during traversal.
+    #[test]
+    fn rerank_recovers_exact_topk_in_exhaustive_regime(
+        flat in proptest::collection::vec(-10.0f32..10.0, 8 * 24),
+        qv in proptest::collection::vec(-10.0f32..10.0, 8),
+        seed in any::<u64>(),
+        use_pq in any::<bool>(),
+    ) {
+        let (dim, n) = (8usize, 24usize);
+        let rows: Vec<Vec<f32>> = flat.chunks(dim).map(|c| c.to_vec()).collect();
+        let ds = Dataset::from_rows(dim, rows).unwrap();
+        let spec = if use_pq {
+            QuantSpec::Pq { m: 4, bits: 3 }
+        } else {
+            QuantSpec::Int8
+        };
+        let codes = QuantCodes::train(spec, &ds, seed).unwrap();
+        let lists: Vec<Vec<u32>> = (0..n as u32)
+            .map(|v| (0..n as u32).filter(|&u| u != v).collect())
+            .collect();
+        let graph = Csr::from_adjacency(&lists).unwrap();
+        let mut searcher = BeamSearcher::new(n, qv.clone(), vec![0], n, DistanceKind::L2);
+        while searcher.step(&codes, &graph).is_some() {}
+        prop_assert!(searcher.is_finished());
+        let ids = searcher.rerank(&ds, n);
+        prop_assert_eq!(ids.len(), n, "exhaustive beam must retain every vertex");
+        let got = searcher.found();
+        // Brute force through the same kernels and the same total order.
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mut exact = Vec::new();
+        ScoreSource::score_batch(&ds, DistanceKind::L2, &qv, &all, &mut exact);
+        let mut want: Vec<Neighbor> = exact
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Neighbor::new(d, i as u32))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.id, w.id);
+            prop_assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+        }
     }
 
     #[test]
